@@ -1,0 +1,233 @@
+(* ivtool: command-line driver for the Beyond-Induction-Variables
+   analyses.
+
+     ivtool parse     FILE   — parse and pretty-print the program
+     ivtool cfg       FILE   — dump the lowered CFG
+     ivtool ssa       FILE   — dump the SSA form
+     ivtool classify  FILE   — per-loop variable classification report
+     ivtool deps      FILE   — data dependence graph
+     ivtool baseline  FILE   — classical (dragon book) IV detection
+     ivtool sccp      FILE   — conditional constant propagation summary
+     ivtool normalize FILE   — print the loop-normalized program
+     ivtool run       FILE   — interpret (bounded) and dump array state
+
+   Input is the paper's structured loop language; see README.md. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_or_exit src =
+  match Ir.Parser.parse_result src with
+  | Ok p -> p
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+let with_source file f = f (parse_or_exit (read_file file))
+
+let cmd_parse file =
+  with_source file (fun p -> print_endline (Ir.Ast.to_string p))
+
+let cmd_cfg file =
+  with_source file (fun p -> print_endline (Ir.Cfg.to_string (Ir.Lower.lower p)))
+
+let cmd_ssa file =
+  with_source file (fun p ->
+      let ssa = Ir.Ssa.of_program p in
+      (match Ir.Ssa.check ssa with
+       | [] -> ()
+       | errs ->
+         List.iter prerr_endline errs;
+         exit 2);
+      print_endline (Ir.Ssa.to_string ssa))
+
+let cmd_classify no_sccp file =
+  with_source file (fun p ->
+      let t = Analysis.Driver.analyze ~use_sccp:(not no_sccp) (Ir.Ssa.of_program p) in
+      print_string (Analysis.Driver.report t))
+
+let cmd_deps file =
+  with_source file (fun p ->
+      let t = Analysis.Driver.analyze (Ir.Ssa.of_program p) in
+      let g = Dependence.Dep_graph.build t in
+      if g = [] then print_endline "no dependences"
+      else print_string (Dependence.Dep_graph.to_string t g))
+
+let cmd_baseline file =
+  with_source file (fun p ->
+      let cfg = Ir.Lower.lower p in
+      List.iter
+        (fun ((lp : Ir.Loops.loop), r) ->
+          Format.printf "loop %s:@.%a@." lp.Ir.Loops.name Analysis.Baseline.pp r)
+        (Analysis.Baseline.find_all cfg))
+
+let cmd_sccp file =
+  with_source file (fun p ->
+      let ssa = Ir.Ssa.of_program p in
+      let r = Analysis.Sccp.run ssa in
+      let consts, total, dead = Analysis.Sccp.fold_stats r ssa in
+      Printf.printf "constants: %d of %d instructions; dead blocks: %d\n" consts total
+        dead)
+
+let cmd_dot_cfg file =
+  with_source file (fun p -> print_string (Ir.Dot.cfg_to_dot (Ir.Lower.lower p)))
+
+let cmd_dot_ssa file =
+  with_source file (fun p -> print_string (Ir.Dot.ssa_to_dot (Ir.Ssa.of_program p)))
+
+let cmd_trip file =
+  with_source file (fun p ->
+      let t = Analysis.Driver.analyze (Ir.Ssa.of_program p) in
+      let ssa = Analysis.Driver.ssa t in
+      let loops = Ir.Ssa.loops ssa in
+      List.iter
+        (fun (lp : Ir.Loops.loop) ->
+          let trip = Analysis.Driver.trip_count t lp.Ir.Loops.id in
+          Format.printf "loop %-8s trips: %a" lp.Ir.Loops.name
+            (Analysis.Trip_count.pp_with (fun id -> Ir.Ssa.primary_name ssa id))
+            trip;
+          (match Analysis.Trip_count.max_count_int trip with
+           | Some n when Analysis.Trip_count.count_int trip = None ->
+             Format.printf " (at most %d)" n
+           | _ -> ());
+          Format.printf "@.")
+        (Ir.Loops.postorder loops))
+
+let cmd_normalize file =
+  with_source file (fun p ->
+      print_endline (Ir.Ast.to_string (Transform.Normalize.normalize p)))
+
+let cmd_peel loop_name file =
+  with_source file (fun p ->
+      print_endline (Ir.Ast.to_string (Transform.Peel.peel_named loop_name p)))
+
+let cmd_parallel file =
+  with_source file (fun p ->
+      let t = Analysis.Driver.analyze (Ir.Ssa.of_program p) in
+      print_string (Transform.Parallelize.report t))
+
+let cmd_interchange outer inner file =
+  with_source file (fun p ->
+      let src = Ir.Ast.to_string p in
+      match Transform.Interchange.legal_for_source src ~outer_name:outer ~inner_name:inner with
+      | Some true ->
+        print_endline "interchange: legal";
+        print_endline (Ir.Ast.to_string (Transform.Interchange.apply p ~outer_name:outer))
+      | Some false -> print_endline "interchange: illegal (blocking dependence)"
+      | None -> prerr_endline "interchange: loops not found")
+
+let cmd_optimize file =
+  with_source file (fun p ->
+      let ssa = Ir.Ssa.of_program p in
+      let t = Analysis.Driver.analyze ssa in
+      let hoisted = Transform.Licm.hoist t in
+      let reduced = Transform.Strength_reduction.reduce t in
+      let removed = Transform.Dce.run (Ir.Ssa.cfg ssa) in
+      Printf.printf
+        "licm: hoisted %d; strength reduction: %d multiplies; dce: removed %d\n"
+        (List.length hoisted) (List.length reduced) removed;
+      print_endline (Ir.Ssa.to_string ssa))
+
+let cmd_run fuel seed file =
+  with_source file (fun p ->
+      let ssa = Ir.Ssa.of_program p in
+      let state = Random.State.make [| seed |] in
+      let st =
+        Ir.Interp.run ~fuel ~rand:(fun () -> Random.State.bool state) ssa
+      in
+      (match st.Ir.Interp.outcome with
+       | Ir.Interp.Halted -> Printf.printf "halted after %d steps\n" st.Ir.Interp.steps
+       | Ir.Interp.Out_of_fuel -> Printf.printf "stopped: out of fuel (%d steps)\n" fuel);
+      let cells =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.Ir.Interp.arrays []
+        |> List.sort compare
+      in
+      List.iter
+        (fun ((a, idx), v) ->
+          Printf.printf "%s(%s) = %d\n" (Ir.Ident.name a)
+            (String.concat ", " (List.map string_of_int idx))
+            v)
+        cells)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input program.")
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ file_arg)
+
+let classify_cmd =
+  let no_sccp =
+    Arg.(value & flag & info [ "no-sccp" ] ~doc:"Disable constant propagation.")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify every loop variable (the paper's algorithm).")
+    Term.(const cmd_classify $ no_sccp $ file_arg)
+
+let peel_cmd =
+  let loop_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOOP" ~doc:"Loop label.")
+  in
+  let file2 =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Input program.")
+  in
+  Cmd.v
+    (Cmd.info "peel" ~doc:"Peel the first iteration of the named loop.")
+    Term.(const cmd_peel $ loop_name $ file2)
+
+let interchange_cmd =
+  let outer =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTER" ~doc:"Outer loop.")
+  in
+  let inner =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"INNER" ~doc:"Inner loop.")
+  in
+  let file2 =
+    Arg.(required & pos 2 (some file) None & info [] ~docv:"FILE" ~doc:"Input program.")
+  in
+  Cmd.v
+    (Cmd.info "interchange" ~doc:"Check legality of (and apply) loop interchange.")
+    Term.(const cmd_interchange $ outer $ inner $ file2)
+
+let run_cmd =
+  let fuel =
+    Arg.(value & opt int 100_000 & info [ "fuel" ] ~doc:"Instruction budget.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for '??' conditions.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret the program and dump final array contents.")
+    Term.(const cmd_run $ fuel $ seed $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "ivtool" ~version:"1.0.0"
+      ~doc:"Induction-variable classification beyond linear IVs (Wolfe, PLDI 1992)."
+  in
+  let cmds =
+    [
+      simple "parse" "Parse and pretty-print the program." cmd_parse;
+      simple "cfg" "Dump the lowered control-flow graph." cmd_cfg;
+      simple "ssa" "Dump the SSA form." cmd_ssa;
+      classify_cmd;
+      simple "deps" "Dump the data dependence graph." cmd_deps;
+      simple "baseline" "Run classical (iterative) IV detection." cmd_baseline;
+      simple "sccp" "Run conditional constant propagation." cmd_sccp;
+      simple "normalize" "Print the loop-normalized program." cmd_normalize;
+      simple "trip" "Print every loop's (maximum) trip count." cmd_trip;
+      simple "dot-cfg" "Emit the CFG in Graphviz DOT format." cmd_dot_cfg;
+      simple "dot-ssa" "Emit the SSA def-use graph in Graphviz DOT format." cmd_dot_ssa;
+      simple "parallel" "Report which loops have independent iterations." cmd_parallel;
+      simple "optimize" "Run LICM, strength reduction and DCE; dump the result."
+        cmd_optimize;
+      peel_cmd;
+      interchange_cmd;
+      run_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

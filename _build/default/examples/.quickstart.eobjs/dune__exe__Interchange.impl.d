@@ -1,0 +1,1 @@
+examples/interchange.ml: Analysis Array Dependence Format Hashtbl Ir List Option Printf String Transform

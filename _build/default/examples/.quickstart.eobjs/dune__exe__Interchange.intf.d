@@ -1,0 +1,1 @@
+examples/interchange.mli:

@@ -1,0 +1,1 @@
+examples/optimize.ml: Analysis Hashtbl Ir List Printf Transform

@@ -1,0 +1,1 @@
+examples/packing.ml: Analysis Dependence Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Bignum Ir List Option Printf

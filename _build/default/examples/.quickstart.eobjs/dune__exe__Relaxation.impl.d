@@ -1,0 +1,1 @@
+examples/relaxation.ml: Analysis Dependence List Printf

@@ -1,0 +1,1 @@
+examples/triangular.ml: Analysis Bignum Ir List Option Printf

@@ -1,0 +1,1 @@
+examples/triangular.mli:

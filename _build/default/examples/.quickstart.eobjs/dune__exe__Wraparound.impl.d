@@ -1,0 +1,1 @@
+examples/wraparound.ml: Analysis Dependence Hashtbl Ir List Printf Transform

@@ -1,0 +1,1 @@
+lib/analysis/algebra.ml: Array Bigint Bignum Fun Ivclass List Option Rat Stdlib Sym

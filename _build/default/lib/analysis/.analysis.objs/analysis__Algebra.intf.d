@@ -1,0 +1,1 @@
+lib/analysis/algebra.mli: Bigint Bignum Ivclass Rat Sym

@@ -1,0 +1,1 @@
+lib/analysis/baseline.ml: Array Format Hashtbl Ir List Option

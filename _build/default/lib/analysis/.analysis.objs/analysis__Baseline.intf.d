@@ -1,0 +1,1 @@
+lib/analysis/baseline.mli: Format Ir

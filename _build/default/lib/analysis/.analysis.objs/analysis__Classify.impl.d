@@ -1,0 +1,1 @@
+lib/analysis/classify.ml: Algebra Array Bignum Closed_form Ir Ivclass List Option Rat Ssa_graph Sym Tarjan

@@ -1,0 +1,1 @@
+lib/analysis/classify.mli: Ir Ivclass Ssa_graph Sym

@@ -1,0 +1,1 @@
+lib/analysis/closed_form.ml: Array Bignum Ivclass List Rat Ratmat Stdlib Sym

@@ -1,0 +1,1 @@
+lib/analysis/closed_form.mli: Bignum Ivclass Rat Sym

@@ -1,0 +1,1 @@
+lib/analysis/driver.ml: Algebra Array Bignum Classify Format Ir Ivclass List Option Sccp Ssa_graph Sym Trip_count

@@ -1,0 +1,1 @@
+lib/analysis/driver.mli: Format Ir Ivclass Sccp Ssa_graph Sym Trip_count

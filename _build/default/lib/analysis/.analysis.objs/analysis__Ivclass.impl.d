@@ -1,0 +1,1 @@
+lib/analysis/ivclass.ml: Array Bignum Format Ir List Rat Stdlib String Sym

@@ -1,0 +1,1 @@
+lib/analysis/ivclass.mli: Bignum Format Rat Sym

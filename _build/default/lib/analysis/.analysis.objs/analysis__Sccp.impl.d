@@ -1,0 +1,1 @@
+lib/analysis/sccp.ml: Array Hashtbl Ir List Option Queue

@@ -1,0 +1,1 @@
+lib/analysis/ssa_graph.ml: Array Format Ir List Option Sym

@@ -1,0 +1,1 @@
+lib/analysis/ssa_graph.mli: Format Ir Sym

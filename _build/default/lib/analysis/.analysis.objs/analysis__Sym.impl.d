@@ -1,0 +1,1 @@
+lib/analysis/sym.ml: Bignum Format Ir List Option Rat Stdlib String

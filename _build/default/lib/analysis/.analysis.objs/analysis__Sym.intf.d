@@ -1,0 +1,1 @@
+lib/analysis/sym.mli: Bignum Format Ir Rat

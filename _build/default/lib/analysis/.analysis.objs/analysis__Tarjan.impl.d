@@ -1,0 +1,1 @@
+lib/analysis/tarjan.ml: Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/trip_count.ml: Algebra Array Bigint Bignum Classify Format Ir Ivclass List Rat Sym

@@ -1,0 +1,1 @@
+lib/analysis/trip_count.mli: Bigint Bignum Classify Format Ir Sym

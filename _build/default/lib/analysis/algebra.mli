@@ -1,0 +1,48 @@
+(** The algebra of variable classifications (paper §5.1): how each
+    arithmetic operator combines operand classes. All operations are
+    conservative — combinations outside the table yield [Unknown], never
+    a wrong closed form. *)
+
+open Bignum
+
+(** [poly_view t] sees exact polynomial classes (invariant, linear with
+    invariant base, polynomial) as (loop, coefficient vector). *)
+val poly_view : Ivclass.t -> (int option * Sym.t array) option
+
+(** [geo_view t] additionally admits one exponential term:
+    (loop, poly coeffs, (ratio, coefficient) option). *)
+val geo_view :
+  Ivclass.t -> (int option * Sym.t array * (Rat.t * Sym.t) option) option
+
+(** [growth t] is [Some (direction, strict)] when the class provably
+    evolves monotonically with h >= 0 (constant coefficients);
+    [Some (None, _)] means constant. *)
+val growth : Ivclass.t -> (Ivclass.dir option * bool) option
+
+val add : Ivclass.t -> Ivclass.t -> Ivclass.t
+val sub : Ivclass.t -> Ivclass.t -> Ivclass.t
+val mul : Ivclass.t -> Ivclass.t -> Ivclass.t
+val neg : Ivclass.t -> Ivclass.t
+
+(** [scale c t] multiplies by a rational constant. *)
+val scale : Rat.t -> Ivclass.t -> Ivclass.t
+
+(** [add_sym t s] adds a loop-invariant symbolic value. *)
+val add_sym : Ivclass.t -> Sym.t -> Ivclass.t
+
+(** [div_const t c] divides by a non-zero integer, only when the result
+    provably stays integral on every iteration (integer division is not
+    rational division). *)
+val div_const : Ivclass.t -> Bigint.t -> Ivclass.t
+
+(** [shift t k] is the class of h -> t(h + k), for exact classes. *)
+val shift : Ivclass.t -> int -> Ivclass.t option
+
+(** [sym_at t h] is the symbolic value at the concrete iteration h >= 0,
+    when expressible. *)
+val sym_at : Ivclass.t -> int -> Sym.t option
+
+(** [sym_at_sym t h] substitutes a symbolic iteration number into a
+    polynomial closed form (used for exit values at symbolic trip
+    counts). *)
+val sym_at_sym : Ivclass.t -> Sym.t -> Sym.t option

@@ -1,0 +1,233 @@
+(* The classical induction-variable detection the paper positions itself
+   against ([ASU86] §10, [CK77, ACK81]): find *basic* induction variables
+   (variables whose only assignments in the loop are i := i +- c with c
+   loop invariant), then grow families of *derived* variables j := c*i + d
+   by repeated scanning until no change.
+
+   This runs on the pre-SSA CFG (scalar Load/Store still present), which
+   is the representation the classical algorithm assumes. Two properties
+   matter for the benchmarks:
+
+     - it is *iterative*: a chain of k derived variables announced in
+       reverse program order needs k scans (the paper's algorithm is a
+       single Tarjan pass);
+     - it is *less general*: mutually-defined pairs (loop L2), conditional
+       same-offset updates (Fig 3), wrap-around, periodic, monotonic and
+       non-linear variables are all missed by construction. *)
+
+type derived = {
+  var : Ir.Ident.t;
+  base : Ir.Ident.t; (* the induction variable it derives from *)
+  scale : int;
+  offset : int; (* value = scale * base + offset at its definition *)
+}
+
+type result = {
+  basic : (Ir.Ident.t * int) list; (* variable, step *)
+  derived : derived list;
+  passes : int; (* scans over the loop body until fixpoint *)
+}
+
+let stores_in_loop cfg (loop : Ir.Loops.loop) =
+  Ir.Label.Set.fold
+    (fun l acc ->
+      List.fold_left
+        (fun acc (i : Ir.Instr.t) ->
+          match i.Ir.Instr.op with
+          | Ir.Instr.Store x -> (x, i) :: acc
+          | _ -> acc)
+        acc (Ir.Cfg.block cfg l).Ir.Cfg.instrs)
+    loop.Ir.Loops.blocks []
+
+(* A value is loop invariant when it depends on no store inside the
+   loop: constants, loads of unmodified variables, and arithmetic over
+   invariants. *)
+let make_invariance cfg (loop : Ir.Loops.loop) modified =
+  let memo : bool Ir.Instr.Id.Table.t = Ir.Instr.Id.Table.create 64 in
+  let rec value_invariant (v : Ir.Instr.value) =
+    match v with
+    | Ir.Instr.Const _ | Ir.Instr.Param _ -> true
+    | Ir.Instr.Def d -> (
+      match Ir.Instr.Id.Table.find_opt memo d with
+      | Some b -> b
+      | None ->
+        Ir.Instr.Id.Table.replace memo d false (* cycles are variant *);
+        let b =
+          match Ir.Cfg.find_instr_opt cfg d with
+          | None -> false
+          | Some instr -> (
+            let in_loop =
+              Ir.Label.Set.mem (Ir.Cfg.block_of_instr cfg d) loop.Ir.Loops.blocks
+            in
+            if not in_loop then true
+            else
+              match instr.Ir.Instr.op with
+              | Ir.Instr.Load x -> not (Ir.Ident.Set.mem x modified)
+              | Ir.Instr.Binop _ | Ir.Instr.Neg | Ir.Instr.Relop _ ->
+                Array.for_all value_invariant instr.Ir.Instr.args
+              | _ -> false)
+        in
+        Ir.Instr.Id.Table.replace memo d b;
+        b)
+  in
+  value_invariant
+
+(* Decompose a stored value as  scale * (load of some var) + offset  with
+   constant scale/offset — the classical "j := c*i + d" patterns. *)
+let rec linear_form cfg invariant (v : Ir.Instr.value) :
+    (Ir.Ident.t * int * int) option =
+  match v with
+  | Ir.Instr.Const _ | Ir.Instr.Param _ -> None
+  | Ir.Instr.Def d -> (
+    match Ir.Cfg.find_instr_opt cfg d with
+    | None -> None
+    | Some instr -> (
+      let const_of (v : Ir.Instr.value) =
+        match v with Ir.Instr.Const c -> Some c | _ -> None
+      in
+      match instr.Ir.Instr.op with
+      | Ir.Instr.Load x -> Some (x, 1, 0)
+      | Ir.Instr.Neg -> (
+        match linear_form cfg invariant instr.Ir.Instr.args.(0) with
+        | Some (x, s, o) -> Some (x, -s, -o)
+        | None -> None)
+      | Ir.Instr.Binop Ir.Ops.Add -> (
+        let a = instr.Ir.Instr.args.(0) and b = instr.Ir.Instr.args.(1) in
+        match (linear_form cfg invariant a, const_of b) with
+        | Some (x, s, o), Some c -> Some (x, s, o + c)
+        | _ -> (
+          match (const_of a, linear_form cfg invariant b) with
+          | Some c, Some (x, s, o) -> Some (x, s, o + c)
+          | _ -> None))
+      | Ir.Instr.Binop Ir.Ops.Sub -> (
+        let a = instr.Ir.Instr.args.(0) and b = instr.Ir.Instr.args.(1) in
+        match (linear_form cfg invariant a, const_of b) with
+        | Some (x, s, o), Some c -> Some (x, s, o - c)
+        | _ -> (
+          match (const_of a, linear_form cfg invariant b) with
+          | Some c, Some (x, s, o) -> Some (x, -s, c - o)
+          | _ -> None))
+      | Ir.Instr.Binop Ir.Ops.Mul -> (
+        let a = instr.Ir.Instr.args.(0) and b = instr.Ir.Instr.args.(1) in
+        match (linear_form cfg invariant a, const_of b) with
+        | Some (x, s, o), Some c -> Some (x, s * c, o * c)
+        | _ -> (
+          match (const_of a, linear_form cfg invariant b) with
+          | Some c, Some (x, s, o) -> Some (x, s * c, o * c)
+          | _ -> None))
+      | _ -> None))
+
+(* The increment pattern for basic induction variables: x := x + c or
+   x := x - c with c a loop-invariant value. *)
+let increment_of cfg invariant x (store : Ir.Instr.t) : Ir.Instr.value option =
+  let stored = store.Ir.Instr.args.(0) in
+  match stored with
+  | Ir.Instr.Def d -> (
+    match Ir.Cfg.find_instr_opt cfg d with
+    | Some { Ir.Instr.op = Ir.Instr.Binop Ir.Ops.Add; args; _ } -> (
+      let load_of_x (v : Ir.Instr.value) =
+        match v with
+        | Ir.Instr.Def d -> (
+          match Ir.Cfg.find_instr_opt cfg d with
+          | Some { Ir.Instr.op = Ir.Instr.Load y; _ } -> Ir.Ident.equal x y
+          | _ -> false)
+        | _ -> false
+      in
+      if load_of_x args.(0) && invariant args.(1) then Some args.(1)
+      else if load_of_x args.(1) && invariant args.(0) then Some args.(0)
+      else None)
+    | Some { Ir.Instr.op = Ir.Instr.Binop Ir.Ops.Sub; args; _ } -> (
+      let load_of_x (v : Ir.Instr.value) =
+        match v with
+        | Ir.Instr.Def d -> (
+          match Ir.Cfg.find_instr_opt cfg d with
+          | Some { Ir.Instr.op = Ir.Instr.Load y; _ } -> Ir.Ident.equal x y
+          | _ -> false)
+        | _ -> false
+      in
+      if load_of_x args.(0) && invariant args.(1) then Some args.(1) else None)
+    | _ -> None)
+  | Ir.Instr.Const _ | Ir.Instr.Param _ -> None
+
+(* [find cfg loop] runs the classical detection on one loop. *)
+let find (cfg : Ir.Cfg.t) (loop : Ir.Loops.loop) : result =
+  let stores = stores_in_loop cfg loop in
+  let modified =
+    List.fold_left (fun acc (x, _) -> Ir.Ident.Set.add x acc) Ir.Ident.Set.empty stores
+  in
+  let invariant = make_invariance cfg loop modified in
+  (* Basic IVs: every store to x is an increment by an invariant. *)
+  let by_var : (Ir.Ident.t, Ir.Instr.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (x, i) ->
+      Hashtbl.replace by_var x (i :: Option.value ~default:[] (Hashtbl.find_opt by_var x)))
+    stores;
+  let basic = ref [] in
+  Hashtbl.iter
+    (fun x defs ->
+      (* The textbook rule: exactly one assignment in the loop, of the
+         form x := x +- c. (Multiple or conditional assignments — e.g.
+         the paper's Fig 3 — disqualify the variable classically.) *)
+      match defs with
+      | [ def ] -> (
+        match increment_of cfg invariant x def with
+        | Some inc ->
+          let step = match inc with Ir.Instr.Const c -> c | _ -> 0 in
+          basic := (x, step) :: !basic
+        | None -> ())
+      | _ -> ())
+    by_var;
+  let is_iv : (Ir.Ident.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (x, _) -> Hashtbl.replace is_iv x ()) !basic;
+  (* Derived IVs: iterate scans until fixpoint (the classical family
+     growth); record how many passes it took. *)
+  let derived = ref [] in
+  let passes = ref 0 in
+  let changed = ref true in
+  let body_instrs =
+    Ir.Label.Set.elements loop.Ir.Loops.blocks
+    |> List.sort Ir.Label.compare
+    |> List.concat_map (fun l -> (Ir.Cfg.block cfg l).Ir.Cfg.instrs)
+  in
+  while !changed do
+    changed := false;
+    incr passes;
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        match i.Ir.Instr.op with
+        | Ir.Instr.Store x
+          when (not (Hashtbl.mem is_iv x))
+               && List.length (Option.value ~default:[] (Hashtbl.find_opt by_var x)) = 1
+          -> (
+          match linear_form cfg invariant i.Ir.Instr.args.(0) with
+          | Some (base, scale, offset)
+            when Hashtbl.mem is_iv base && not (Ir.Ident.equal base x) ->
+            Hashtbl.replace is_iv x ();
+            derived := { var = x; base; scale; offset } :: !derived;
+            changed := true
+          | _ -> ())
+        | _ -> ())
+      body_instrs
+  done;
+  { basic = !basic; derived = !derived; passes = !passes }
+
+(* [find_all cfg] runs the detection on every loop of a (pre-SSA) CFG. *)
+let find_all (cfg : Ir.Cfg.t) : (Ir.Loops.loop * result) list =
+  let dom = Ir.Dom.compute cfg in
+  let loops = Ir.Loops.compute cfg dom in
+  List.map (fun lp -> (lp, find cfg lp)) (Ir.Loops.postorder loops)
+
+let iv_count r = List.length r.basic + List.length r.derived
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>basic:";
+  List.iter
+    (fun (x, step) -> Format.fprintf fmt " %a(step %d)" Ir.Ident.pp x step)
+    r.basic;
+  Format.fprintf fmt "@,derived:";
+  List.iter
+    (fun d ->
+      Format.fprintf fmt " %a=%d*%a+%d" Ir.Ident.pp d.var d.scale Ir.Ident.pp d.base
+        d.offset)
+    r.derived;
+  Format.fprintf fmt "@,passes: %d@]" r.passes

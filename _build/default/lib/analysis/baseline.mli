@@ -1,0 +1,31 @@
+(** The classical induction-variable detection the paper is compared
+    against ([ASU86] §10, [CK77]): basic IVs (a single "i := i ± c"
+    assignment) plus derived families "j := c·i + d" grown by repeated
+    scans until fixpoint. Runs on the pre-SSA CFG.
+
+    The two measured properties: it is iterative (a reversed derived
+    chain of depth k needs ~k scans), and it misses everything beyond the
+    textbook patterns (mutual pairs, conditional same-offset updates,
+    wrap-around/periodic/polynomial/monotonic variables). *)
+
+type derived = {
+  var : Ir.Ident.t;
+  base : Ir.Ident.t;
+  scale : int;
+  offset : int;  (** value = scale·base + offset at its definition *)
+}
+
+type result = {
+  basic : (Ir.Ident.t * int) list;  (** variable, constant step *)
+  derived : derived list;
+  passes : int;  (** scans over the loop body until fixpoint *)
+}
+
+(** [find cfg loop] runs the classical detection on one loop. *)
+val find : Ir.Cfg.t -> Ir.Loops.loop -> result
+
+(** [find_all cfg] runs on every loop of a pre-SSA CFG, inner first. *)
+val find_all : Ir.Cfg.t -> (Ir.Loops.loop * result) list
+
+val iv_count : result -> int
+val pp : Format.formatter -> result -> unit

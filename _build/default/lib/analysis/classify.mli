@@ -1,0 +1,45 @@
+(** The paper's core algorithm: classify every strongly connected region
+    of a loop's SSA graph at the moment Tarjan's algorithm completes it
+    (§3.1, §4) — one non-iterative pass, linear in the size of the SSA
+    graph.
+
+    Recognized shapes: the operator algebra on trivial regions (§5.1) and
+    wrap-around variables (§4.1); single-header-phi cycles with affine
+    cumulative effect v' = m·v + p — linear families incl. Fig 3's
+    conditional same-offset updates, polynomial and geometric IVs (§4.3),
+    flip-flops (m = -1, p invariant); pure header-phi cycles — periodic
+    families (§4.2); and consistently-signed increments — monotonic
+    variables with per-member strictness (§4.4). *)
+
+type ctx = {
+  ssa : Ir.Ssa.t;
+  loop : Ir.Loops.loop;
+  graph : Ssa_graph.t;
+  table : Ivclass.t Ir.Instr.Id.Table.t;
+  outer_const : Ir.Instr.Id.t -> Sym.t option;
+      (** known constant/invariant values for defs outside this loop *)
+  inner_exit : Ir.Instr.Id.t -> Sym.t option;
+      (** exit values of already-processed inner loops (§5.3) *)
+}
+
+val loop_id : ctx -> int
+
+(** [class_of_value ctx v] is the classification of an operand in this
+    loop's frame (graph nodes from the table; inner-loop defs through
+    their exit values; everything outside the loop as invariant). *)
+val class_of_value : ctx -> Ir.Instr.value -> Ivclass.t
+
+val class_of_def : ctx -> Ir.Instr.Id.t -> Ivclass.t
+
+(** [class_of_sym ctx s] interprets a symbolic polynomial whose atoms may
+    be defs of the current loop, folding the class algebra over terms. *)
+val class_of_sym : ctx -> Sym.t -> Ivclass.t
+
+(** [classify_loop ssa loop] classifies every direct instruction of the
+    loop; returns the classification table and the loop's SSA graph. *)
+val classify_loop :
+  ?outer_const:(Ir.Instr.Id.t -> Sym.t option) ->
+  ?inner_exit:(Ir.Instr.Id.t -> Sym.t option) ->
+  Ir.Ssa.t ->
+  Ir.Loops.loop ->
+  Ivclass.t Ir.Instr.Id.Table.t * Ssa_graph.t

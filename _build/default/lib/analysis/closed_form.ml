@@ -1,0 +1,117 @@
+(* Closed-form recovery for non-linear induction variables (paper §4.3).
+
+   A strongly connected region whose cumulative effect on the loop-header
+   value is  v(h+1) = m * v(h) + p(h)  (with m a rational constant and p
+   the classified additive part) defines a polynomial or geometric
+   induction variable. Following the paper, the coefficients of the
+   closed form are recovered by computing the first few values of the
+   sequence symbolically and inverting the corresponding (geometric)
+   Vandermonde matrix with exact rational arithmetic:
+
+     - the matrix entries are integers, so the inverse is rational;
+     - the first values are symbolic (they involve the initial value and
+       any symbolic coefficients of p), and multiplying the rational
+       inverse into the symbolic value vector yields symbolic closed-form
+       coefficients. *)
+
+open Bignum
+
+(* [first_values ~init ~mult ~add n] is [v(0); ...; v(n-1)] with
+   v(0) = init and v(h+1) = mult*v(h) + add(h), all symbolic. [add h]
+   must return the symbolic value of the additive part at iteration h. *)
+let first_values ~init ~mult ~(add : int -> Sym.t) n =
+  let rec go acc v h =
+    if h >= n then List.rev acc
+    else begin
+      (* v(h) = mult * v(h-1) + add(h-1) *)
+      let v' = Sym.add (Sym.scale mult v) (add (h - 1)) in
+      go (v' :: acc) v' (h + 1)
+    end
+  in
+  go [ init ] init 1
+
+(* [solve matrix values] computes [matrix^-1 * values] with symbolic
+   entries on the right-hand side. *)
+let solve matrix values =
+  match Ratmat.inverse matrix with
+  | None -> None
+  | Some inv ->
+    let n = Ratmat.rows inv in
+    Some
+      (Array.init n (fun j ->
+           let acc = ref Sym.zero in
+           for i = 0 to n - 1 do
+             acc := Sym.add !acc (Sym.scale (Ratmat.get inv j i) values.(i))
+           done;
+           !acc))
+
+(* [sym_poly_at coeffs h] evaluates a symbolic-coefficient polynomial at
+   the integer point [h]. *)
+let sym_poly_at (coeffs : Sym.t array) h =
+  let acc = ref Sym.zero in
+  Array.iteri
+    (fun k c -> acc := Sym.add !acc (Sym.scale (Rat.pow (Rat.of_int h) k) c))
+    coeffs;
+  !acc
+
+(* [polynomial ~loop ~init ~add_coeffs] solves v(h+1) = v(h) + p(h) where
+   p has coefficient vector [add_coeffs] (degree d): the result is a
+   polynomial induction variable of degree d+1 (paper: "incrementing a
+   variable by a polynomial induction variable produces an induction
+   variable of the next higher order"). *)
+let polynomial ~loop ~(init : Sym.t) ~(add_coeffs : Sym.t array) : Ivclass.t =
+  let d = Stdlib.max 0 (Array.length add_coeffs - 1) in
+  let degree = d + 1 in
+  let n = degree + 1 in
+  let values =
+    Array.of_list
+      (first_values ~init ~mult:Rat.one ~add:(fun h -> sym_poly_at add_coeffs h) n)
+  in
+  match solve (Ratmat.vandermonde degree) values with
+  | Some coeffs -> Ivclass.poly loop coeffs
+  | None -> Ivclass.Unknown
+
+(* [polynomial_plus_geometric ~loop ~init ~add_coeffs ~gratio ~gcoeff]
+   solves v(h+1) = v(h) + p(h) + gcoeff * gratio^h: the sum of a
+   geometric series is geometric, so the result keeps the same ratio.
+   Requires gratio <> 1 and gcoeff constant-scaled symbolics. *)
+let polynomial_plus_geometric ~loop ~(init : Sym.t) ~(add_coeffs : Sym.t array)
+    ~(gratio : Rat.t) ~(gcoeff : Sym.t) : Ivclass.t =
+  if Rat.equal gratio Rat.one then Ivclass.Unknown
+  else begin
+    let d = Stdlib.max 0 (Array.length add_coeffs - 1) in
+    let degree = d + 1 in
+    let n = degree + 2 in
+    let add h =
+      Sym.add (sym_poly_at add_coeffs h) (Sym.scale (Rat.pow gratio h) gcoeff)
+    in
+    let values = Array.of_list (first_values ~init ~mult:Rat.one ~add n) in
+    match solve (Ratmat.geometric_vandermonde degree gratio) values with
+    | Some coeffs ->
+      let poly = Array.sub coeffs 0 (n - 1) in
+      Ivclass.geometric loop poly gratio coeffs.(n - 1)
+    | None -> Ivclass.Unknown
+  end
+
+(* [geometric ~loop ~init ~mult ~add_coeffs] solves
+   v(h+1) = mult * v(h) + p(h) with mult not in {0, 1}: a geometric
+   induction variable with ratio [mult]. The polynomial part is given one
+   degree more than p, mirroring the paper's worked example (m = 3*m +
+   2*i + 1), where the extra coefficient comes out zero. *)
+let geometric ~loop ~(init : Sym.t) ~(mult : Rat.t) ~(add_coeffs : Sym.t array) :
+    Ivclass.t =
+  if Rat.is_zero mult || Rat.equal mult Rat.one then Ivclass.Unknown
+  else begin
+    let d = Stdlib.max 0 (Array.length add_coeffs - 1) in
+    let degree = d + 1 in
+    let n = degree + 2 in
+    let values =
+      Array.of_list
+        (first_values ~init ~mult ~add:(fun h -> sym_poly_at add_coeffs h) n)
+    in
+    match solve (Ratmat.geometric_vandermonde degree mult) values with
+    | Some coeffs ->
+      let poly = Array.sub coeffs 0 (n - 1) in
+      Ivclass.geometric loop poly mult coeffs.(n - 1)
+    | None -> Ivclass.Unknown
+  end

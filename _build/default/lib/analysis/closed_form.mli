@@ -1,0 +1,28 @@
+(** Closed-form recovery for non-linear induction variables (paper §4.3)
+    by the paper's method: compute the first few values of the recurrence
+    symbolically and invert the corresponding (geometric) Vandermonde
+    matrix with exact rational arithmetic. *)
+
+open Bignum
+
+(** [polynomial ~loop ~init ~add_coeffs] solves v(h+1) = v(h) + p(h) for
+    a polynomial p given by its coefficient vector: a polynomial IV one
+    degree higher. *)
+val polynomial : loop:int -> init:Sym.t -> add_coeffs:Sym.t array -> Ivclass.t
+
+(** [polynomial_plus_geometric] solves v(h+1) = v(h) + p(h) +
+    gcoeff·gratio^h (the sum keeps the ratio); [Unknown] when gratio is 1. *)
+val polynomial_plus_geometric :
+  loop:int ->
+  init:Sym.t ->
+  add_coeffs:Sym.t array ->
+  gratio:Rat.t ->
+  gcoeff:Sym.t ->
+  Ivclass.t
+
+(** [geometric ~loop ~init ~mult ~add_coeffs] solves v(h+1) = mult·v(h) +
+    p(h) with mult not 0 or 1: a geometric IV with ratio [mult]. The
+    polynomial part gets one degree more than p, mirroring the paper's
+    worked example (the extra coefficient solves to zero). *)
+val geometric :
+  loop:int -> init:Sym.t -> mult:Rat.t -> add_coeffs:Sym.t array -> Ivclass.t

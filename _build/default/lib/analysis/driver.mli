@@ -1,0 +1,57 @@
+(** The whole-program analysis driver (paper §5.3): classify loops inner
+    to outer with trip counts and symbolic exit values collapsing each
+    countable inner loop, then promote inner initial values that are
+    outer-loop IVs into the paper's nested multiloop tuples. *)
+
+type loop_result = {
+  loop : Ir.Loops.loop;
+  table : Ivclass.t Ir.Instr.Id.Table.t;
+  graph : Ssa_graph.t;
+  trip : Trip_count.t;
+}
+
+type t
+
+val ssa : t -> Ir.Ssa.t
+
+(** The constant-propagation results, when [use_sccp] ran. *)
+val sccp : t -> Sccp.result option
+
+val loop_result : t -> int -> loop_result option
+val trip_count : t -> int -> Trip_count.t
+
+(** [exit_value t id] is the symbolic value of a def after its loop
+    exits, when the loop is countable and the def unconditional (§5.3). *)
+val exit_value : t -> Ir.Instr.Id.t -> Sym.t option
+
+(** [class_of t id] is the classification of a def in its innermost loop
+    (invariant for defs outside all loops). *)
+val class_of : t -> Ir.Instr.Id.t -> Ivclass.t
+
+(** [class_of_name t name] looks up by SSA name ("j2"). *)
+val class_of_name : t -> string -> Ivclass.t option
+
+(** [global_class_of t v] expresses a value's classification in the frame
+    of the whole nest: invariant symbols over defs that vary in outer
+    loops are expanded through those defs' classifications (what
+    dependence testing needs for subscripts like "i - 1" computed in an
+    inner loop). *)
+val global_class_of : t -> Ir.Instr.value -> Ivclass.t
+
+val resolve_global : t -> Ivclass.t -> Ivclass.t
+
+(** [analyze ssa] runs the whole pipeline. [use_sccp] (default true)
+    feeds conditional-constant-propagation results into initial values. *)
+val analyze : ?use_sccp:bool -> Ir.Ssa.t -> t
+
+val analyze_source : ?use_sccp:bool -> string -> t
+
+(** A namer rendering loop names ("L18") and def atoms ("k2") for the
+    paper-style tuple printer. *)
+val namer : t -> Ivclass.namer
+
+val class_to_string : t -> Ivclass.t -> string
+val pp_report : Format.formatter -> t -> unit
+
+(** [report t] is the per-loop classification dump (see README). *)
+val report : t -> string

@@ -1,0 +1,26 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck [WZ91]) on the
+    SSA-form CFG — the substrate the paper cites for resolving the
+    initial values of induction variables. *)
+
+type lattice = Top | Const of int | Bottom
+
+val meet : lattice -> lattice -> lattice
+val lattice_equal : lattice -> lattice -> bool
+
+type result = {
+  values : lattice Ir.Instr.Id.Table.t;
+  executable_blocks : bool array;
+}
+
+val value_of : result -> Ir.Instr.Id.t -> lattice
+
+(** [const_of r id] is [Some n] when the def is a proven constant. *)
+val const_of : result -> Ir.Instr.Id.t -> int option
+
+val block_executable : result -> Ir.Label.t -> bool
+
+val run : Ir.Ssa.t -> result
+
+(** [fold_stats r ssa] is (constant instructions, total live instructions,
+    dead blocks). *)
+val fold_stats : result -> Ir.Ssa.t -> int * int * int

@@ -1,0 +1,119 @@
+(* Tarjan's strongly-connected-components algorithm [Tar72], iterative.
+
+   The emission order is the property the paper's classifier relies on:
+   because SSA-graph edges point from operations to their operands, an
+   SCC is emitted only after every SCC it can reach — so when the
+   classifier sees a region, all its source operands are classified.
+
+   The implementation is generic over the node and edge representation so
+   both the classifier (SSA graphs) and the property tests (random
+   graphs) use the same code. *)
+
+type 'a graph = { vertices : 'a list; edges : 'a -> 'a list; key : 'a -> int }
+
+(* [sccs g] is the list of strongly connected components in reverse
+   topological order of the condensation (callees/operands first). Each
+   component lists its members in discovery order. *)
+let sccs (g : 'a graph) : 'a list list =
+  let index : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let lowlink : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let on_stack : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let stack : 'a list ref = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  (* Explicit work stack: (node, remaining successors) frames. *)
+  let visit v =
+    let frames = ref [ (v, ref (g.edges v)) ] in
+    let kv = g.key v in
+    Hashtbl.replace index kv !counter;
+    Hashtbl.replace lowlink kv !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack kv ();
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (node, succs) :: rest -> (
+        let kn = g.key node in
+        match !succs with
+        | [] ->
+          frames := rest;
+          (* Pop: update parent's lowlink, emit component at roots. *)
+          (match rest with
+           | (parent, _) :: _ ->
+             let kp = g.key parent in
+             let ll = Stdlib.min (Hashtbl.find lowlink kp) (Hashtbl.find lowlink kn) in
+             Hashtbl.replace lowlink kp ll
+           | [] -> ());
+          if Hashtbl.find lowlink kn = Hashtbl.find index kn then begin
+            (* node is a root: pop its component off the stack. *)
+            let rec pop acc =
+              match !stack with
+              | [] -> acc
+              | w :: rest ->
+                stack := rest;
+                Hashtbl.remove on_stack (g.key w);
+                let acc = w :: acc in
+                if g.key w = kn then acc else pop acc
+            in
+            out := pop [] :: !out
+          end
+        | s :: more -> (
+          succs := more;
+          let ks = g.key s in
+          match Hashtbl.find_opt index ks with
+          | None ->
+            Hashtbl.replace index ks !counter;
+            Hashtbl.replace lowlink ks !counter;
+            incr counter;
+            stack := s :: !stack;
+            Hashtbl.replace on_stack ks ();
+            frames := (s, ref (g.edges s)) :: !frames
+          | Some is ->
+            if Hashtbl.mem on_stack ks then begin
+              let ll = Stdlib.min (Hashtbl.find lowlink kn) is in
+              Hashtbl.replace lowlink kn ll
+            end))
+    done
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index (g.key v)) then visit v) g.vertices;
+  List.rev !out
+
+(* [is_trivial g comp] holds for single-node components with no self
+   edge — nodes that are not part of any cycle. *)
+let is_trivial (g : 'a graph) = function
+  | [ v ] -> not (List.exists (fun s -> g.key s = g.key v) (g.edges v))
+  | _ -> false
+
+(* Reference implementation for property tests: O(V * E) reachability
+   check. Two nodes are in the same SCC iff they reach each other. *)
+let sccs_naive (g : 'a graph) : 'a list list =
+  let reach_from v =
+    let seen = Hashtbl.create 16 in
+    let rec dfs u =
+      if not (Hashtbl.mem seen (g.key u)) then begin
+        Hashtbl.replace seen (g.key u) ();
+        List.iter dfs (g.edges u)
+      end
+    in
+    dfs v;
+    seen
+  in
+  let tables = List.map (fun v -> (v, reach_from v)) g.vertices in
+  let same ta b tb a = Hashtbl.mem ta (g.key b) && Hashtbl.mem tb (g.key a) in
+  let comps = ref [] in
+  List.iter
+    (fun (v, tv) ->
+      let placed =
+        List.exists
+          (fun comp ->
+            match !comp with
+            | (w, tw) :: _ when same tv w tw v ->
+              comp := !comp @ [ (v, tv) ];
+              true
+            | _ -> false)
+          !comps
+      in
+      if not placed then comps := !comps @ [ ref [ (v, tv) ] ])
+    tables;
+  List.map (fun comp -> List.map fst !comp) !comps

@@ -1,0 +1,22 @@
+(** Tarjan's strongly-connected-components algorithm [Tar72], iterative.
+
+    The emission order is the property the classifier relies on: because
+    SSA-graph edges point from operations to their operands, a component
+    is emitted only after every component it can reach — so when the
+    classifier sees a region, all its source operands are classified. *)
+
+type 'a graph = {
+  vertices : 'a list;
+  edges : 'a -> 'a list;
+  key : 'a -> int;  (** injective on the vertices *)
+}
+
+(** [sccs g]: components in reverse topological order of the condensation
+    (operands first); members in discovery order. *)
+val sccs : 'a graph -> 'a list list
+
+(** [is_trivial g comp] holds for single nodes without a self edge. *)
+val is_trivial : 'a graph -> 'a list -> bool
+
+(** O(V·E) reference implementation, for the property tests. *)
+val sccs_naive : 'a graph -> 'a list list

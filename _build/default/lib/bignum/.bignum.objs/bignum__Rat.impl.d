@@ -1,0 +1,1 @@
+lib/bignum/rat.ml: Bigint Format

@@ -1,0 +1,1 @@
+lib/bignum/ratmat.ml: Array Format List Rat

@@ -1,0 +1,1 @@
+lib/bignum/ratmat.mli: Format Rat

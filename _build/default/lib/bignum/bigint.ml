@@ -1,0 +1,417 @@
+(* Sign-magnitude arbitrary-precision integers in base 2^30.
+
+   Invariants of the representation:
+   - [mag] is little-endian, each limb in [0, base);
+   - [mag] has no trailing zero limb (so zero is the empty array);
+   - [sign] is 0 iff [mag] is empty, otherwise -1 or 1. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* Strip trailing zero limbs and normalize the sign of a raw magnitude. *)
+let make sign mag =
+  let n = Array.length mag in
+  let rec top i = if i > 0 && mag.(i - 1) = 0 then top (i - 1) else i in
+  let n' = top n in
+  if n' = 0 then zero
+  else if n' = n then { sign; mag }
+  else { sign; mag = Array.sub mag 0 n' }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int negation overflows; go through the magnitude limb by limb
+       using the still-negative value. *)
+    let rec limbs acc n =
+      if n = 0 then acc
+      else limbs (Stdlib.abs (n mod base) :: acc) (n / base)
+    in
+    (* [limbs] builds most-significant first; reverse into the array. *)
+    let l = limbs [] n in
+    let l = List.rev l in
+    { sign; mag = Array.of_list l }
+  end
+
+let is_zero t = t.sign = 0
+let sign t = t.sign
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc limb -> (acc * 31) lxor limb) (t.sign + 7) t.mag
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+(* Magnitude addition: |a| + |b|. *)
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + Stdlib.max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      !carry + (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0)
+    in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  assert (!carry = 0);
+  r
+
+(* Magnitude subtraction: |a| - |b|, requires |a| >= |b|. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = (if i < la then a.(i) else 0) - !borrow - (if i < lb then b.(i) else 0) in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else begin
+    match mag_compare a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> make a.sign (mag_sub a.mag b.mag)
+    | _ -> make b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+(* Schoolbook multiplication; limb products fit: (2^30-1)^2 + carries < 2^62. *)
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    for j = 0 to lb - 1 do
+      let s = r.(i + j) + (ai * b.(j)) + !carry in
+      r.(i + j) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    let k = ref (i + lb) in
+    while !carry <> 0 do
+      let s = r.(!k) + !carry in
+      r.(!k) <- s land base_mask;
+      carry := s lsr base_bits;
+      incr k
+    done
+  done;
+  r
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+(* Multiply a magnitude by a single limb (0 <= m < base), in place of a
+   general multiply during long division. *)
+let mag_mul_limb a m =
+  if m = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * m) + !carry in
+      r.(i) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+(* Compare |a| (a slice of length [n] seen as the top of the running
+   remainder) against magnitude [b]. *)
+
+(* Long division of magnitudes: returns (quotient, remainder).
+   Knuth algorithm D is overkill here; we use a simple base-2^30
+   shift-and-subtract refined with a per-step quotient-digit estimate,
+   which is O(n*m) like schoolbook and exact. *)
+let mag_divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if mag_compare a b < 0 then ([||], Array.copy a)
+  else if lb = 1 then begin
+    (* Fast path: single-limb divisor. *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl base_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (q, if !r = 0 then [||] else [| !r |])
+  end
+  else begin
+    let la = Array.length a in
+    let q = Array.make (la - lb + 1) 0 in
+    (* Running remainder, little-endian, at most lb+1 significant limbs. *)
+    let rem = Array.make (lb + 1) 0 in
+    let rem_len = ref 0 in
+    (* rem := rem * base + limb *)
+    let rem_push limb =
+      for i = !rem_len downto 1 do
+        rem.(i) <- rem.(i - 1)
+      done;
+      rem.(0) <- limb;
+      incr rem_len;
+      while !rem_len > 0 && rem.(!rem_len - 1) = 0 do
+        decr rem_len
+      done
+    in
+    let rem_compare_b () =
+      if !rem_len <> lb then Stdlib.compare !rem_len lb
+      else begin
+        let rec go i =
+          if i < 0 then 0
+          else if rem.(i) <> b.(i) then Stdlib.compare rem.(i) b.(i)
+          else go (i - 1)
+        in
+        go (lb - 1)
+      end
+    in
+    (* Estimate the quotient digit from the top two limbs of rem and the
+       top limb of b, then correct by comparison; the estimate is off by
+       at most a small constant so the correction loop is O(1). *)
+    let b_top = b.(lb - 1) in
+    for i = la - 1 downto 0 do
+      rem_push a.(i);
+      if rem_compare_b () >= 0 then begin
+        let top2 =
+          if !rem_len > lb then ((rem.(lb) lsl base_bits) lor rem.(lb - 1))
+          else rem.(lb - 1)
+        in
+        let est = Stdlib.min (top2 / b_top) base_mask in
+        let est = Stdlib.max est 1 in
+        (* rem := rem - est * b, correcting est downward if negative. *)
+        let prod = mag_mul_limb b est in
+        let rec subtract est prod =
+          (* Is prod <= rem ? *)
+          let lp =
+            let n = Array.length prod in
+            let rec top i = if i > 0 && prod.(i - 1) = 0 then top (i - 1) else i in
+            top n
+          in
+          let cmp =
+            if lp <> !rem_len then Stdlib.compare lp !rem_len
+            else begin
+              let rec go i =
+                if i < 0 then 0
+                else if prod.(i) <> rem.(i) then Stdlib.compare prod.(i) rem.(i)
+                else go (i - 1)
+              in
+              go (lp - 1)
+            end
+          in
+          if cmp > 0 then subtract (est - 1) (mag_mul_limb b (est - 1))
+          else begin
+            let borrow = ref 0 in
+            for j = 0 to !rem_len - 1 do
+              let pj = if j < Array.length prod then prod.(j) else 0 in
+              let s = rem.(j) - !borrow - pj in
+              if s < 0 then begin
+                rem.(j) <- s + base;
+                borrow := 1
+              end else begin
+                rem.(j) <- s;
+                borrow := 0
+              end
+            done;
+            assert (!borrow = 0);
+            while !rem_len > 0 && rem.(!rem_len - 1) = 0 do
+              decr rem_len
+            done;
+            est
+          end
+        in
+        let est = subtract est prod in
+        (* One final correction upward if rem is still >= b. *)
+        let est = ref est in
+        while rem_compare_b () >= 0 do
+          let borrow = ref 0 in
+          for j = 0 to !rem_len - 1 do
+            let bj = if j < lb then b.(j) else 0 in
+            let s = rem.(j) - !borrow - bj in
+            if s < 0 then begin
+              rem.(j) <- s + base;
+              borrow := 1
+            end else begin
+              rem.(j) <- s;
+              borrow := 0
+            end
+          done;
+          assert (!borrow = 0);
+          while !rem_len > 0 && rem.(!rem_len - 1) = 0 do
+            decr rem_len
+          done;
+          incr est
+        done;
+        if i < Array.length q then q.(i) <- !est
+      end
+    done;
+    (q, Array.sub rem 0 !rem_len)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let q_mag, r_mag = mag_divmod a.mag b.mag in
+    let q = make (a.sign * b.sign) q_mag in
+    let r = make a.sign r_mag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (sub q (of_int 1), add r b)
+  else (add q (of_int 1), sub r b)
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+
+let rec gcd a b = if is_zero b then abs a else gcd b (rem a b)
+
+let pow b n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n lsr 1)
+    end
+  in
+  go one b n
+
+let succ t = add t one
+let pred t = sub t one
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_int_opt t =
+  match t.sign with
+  | 0 -> Some 0
+  | s ->
+    (* Accumulate most-significant first; bail out on overflow. *)
+    let n = Array.length t.mag in
+    let rec go acc i =
+      if i < 0 then Some (if s < 0 then -acc else acc)
+      else if acc > (max_int - t.mag.(i)) / base then None
+      else go ((acc * base) + t.mag.(i)) (i - 1)
+    in
+    (* A separate check for exactly min_int: |min_int| overflows as a
+       positive int, so handle it by comparing against of_int min_int. *)
+    (match go 0 (n - 1) with
+     | Some v -> Some v
+     | None ->
+       if s < 0 && equal t (of_int Stdlib.min_int) then Some Stdlib.min_int
+       else None)
+
+let to_int t =
+  match to_int_opt t with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int: value out of native int range"
+
+let ten = of_int 10
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    (* Repeated division by 10^9 to peel decimal chunks. *)
+    let chunk = of_int 1_000_000_000 in
+    let rec go v acc =
+      if is_zero v then acc
+      else begin
+        let q, r = divmod v chunk in
+        go q (to_int r :: acc)
+      end
+    in
+    let chunks = go (abs t) [] in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then
+      invalid_arg (Printf.sprintf "Bigint.of_string: bad character %C" c);
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let decimal_digits t =
+  if is_zero t then 1 else String.length (to_string (abs t))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

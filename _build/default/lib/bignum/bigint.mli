@@ -1,0 +1,88 @@
+(** Arbitrary-precision signed integers.
+
+    The closed-form recovery of polynomial and geometric induction
+    variables (paper §4.3) inverts Vandermonde-style matrices with exact
+    rational arithmetic; intermediate determinants overflow native
+    integers quickly, so this module provides an exact integer kernel.
+
+    Values are immutable. The representation is sign–magnitude with the
+    magnitude stored little-endian in base [2^30]. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** [of_int n] converts an OCaml native integer. *)
+val of_int : int -> t
+
+(** [to_int t] converts back to a native integer.
+    @raise Failure if the value does not fit in an OCaml [int]. *)
+val to_int : t -> int
+
+(** [to_int_opt t] is [Some n] when [t] fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [of_string s] parses an optionally-signed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val sign : t -> int (** -1, 0 or 1 *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [|r| < |b|], and [r]
+    having the sign of [a] (truncated division, like OCaml's [/] and
+    [mod]). @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [ediv_rem a b] is Euclidean division: the remainder is always
+    non-negative. *)
+val ediv_rem : t -> t -> t * t
+
+(** [gcd a b] is the non-negative greatest common divisor; [gcd zero zero]
+    is [zero]. *)
+val gcd : t -> t -> t
+
+(** [pow base n] raises to a non-negative native exponent.
+    @raise Invalid_argument if [n < 0]. *)
+val pow : t -> int -> t
+
+val succ : t -> t
+val pred : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** Number of decimal digits of the magnitude (at least 1). *)
+val decimal_digits : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Infix aliases, intended for local [open Bigint.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,90 @@
+(* Canonical rationals: den > 0, gcd(num, den) = 1, zero is 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let g = Bigint.gcd num den in
+    let num = Bigint.div num g and den = Bigint.div den g in
+    if Bigint.sign den < 0 then { num = Bigint.neg num; den = Bigint.neg den }
+    else { num; den }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (both denominators positive). *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let hash t = (Bigint.hash t.num * 31) lxor Bigint.hash t.den
+
+let to_bigint t = Bigint.div t.num t.den
+let to_bigint_exact t = if is_integer t then Some t.num else None
+
+let to_int_exact t =
+  if is_integer t then Bigint.to_int_opt t.num else None
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  make t.den t.num
+
+let div a b = mul a (inv b)
+
+let pow t n =
+  if n >= 0 then { num = Bigint.pow t.num n; den = Bigint.pow t.den n }
+  else inv { num = Bigint.pow t.num (-n); den = Bigint.pow t.den (-n) }
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t =
+  let q, r = Bigint.ediv_rem t.num t.den in
+  ignore r;
+  q
+
+let ceil t = Bigint.neg (floor (neg t))
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,85 @@
+(** Exact rational numbers over {!Bigint}.
+
+    The paper (§4.3) observes that the closed-form coefficients of
+    polynomial and geometric induction variables "will always be
+    rational"; this module supplies the exact field those coefficients
+    live in. Values are kept in canonical form: the denominator is
+    positive and coprime with the numerator; zero is [0/1]. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints num den] is [num/den]. @raise Division_by_zero if [den = 0]. *)
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val sign : t -> int
+val is_zero : t -> bool
+
+(** [is_integer t] holds when the denominator is 1. *)
+val is_integer : t -> bool
+
+(** [to_bigint t] truncates toward zero. *)
+val to_bigint : t -> Bigint.t
+
+(** [to_bigint_exact t] is [Some n] iff [t] is the integer [n]. *)
+val to_bigint_exact : t -> Bigint.t option
+
+(** [to_int_exact t] is [Some n] iff [t] is an integer fitting native int. *)
+val to_int_exact : t -> int option
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on division by zero. *)
+val div : t -> t -> t
+
+(** @raise Division_by_zero on inverting zero. *)
+val inv : t -> t
+
+(** [pow t n] for any native [n] (negative exponents invert).
+    @raise Division_by_zero on [pow zero n] with [n < 0]. *)
+val pow : t -> int -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** [floor t] and [ceil t] as exact integers. *)
+val floor : t -> Bigint.t
+
+val ceil : t -> Bigint.t
+
+(** Renders integers as plain decimals and other values as ["n/d"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

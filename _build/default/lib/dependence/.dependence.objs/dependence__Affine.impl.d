@@ -1,0 +1,1 @@
+lib/dependence/affine.ml: Analysis Bignum Format List Option Rat Stdlib

@@ -1,0 +1,1 @@
+lib/dependence/affine.mli: Analysis Format

@@ -1,0 +1,1 @@
+lib/dependence/dep_graph.ml: Affine Analysis Array Deptest Format Fun Hashtbl Ir List Option Stdlib

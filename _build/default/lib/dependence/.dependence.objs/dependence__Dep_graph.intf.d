@@ -1,0 +1,1 @@
+lib/dependence/dep_graph.mli: Analysis Deptest Format Ir

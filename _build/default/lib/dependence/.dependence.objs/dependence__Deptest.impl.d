@@ -1,0 +1,1 @@
+lib/dependence/deptest.ml: Affine Analysis Array Bignum Extint Format Fun Ir List Option Printf Rat Stdlib

@@ -1,0 +1,1 @@
+lib/dependence/deptest.mli: Affine Analysis Format Ir

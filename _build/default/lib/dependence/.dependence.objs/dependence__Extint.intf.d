@@ -1,0 +1,1 @@
+lib/dependence/extint.mli: Format

@@ -1,0 +1,29 @@
+(** Affine view of a subscript classification:
+    value = const + sum over loops of step_L·h_L, valid from iteration
+    [holds_after] on (the §6 wrap-around translation). Multiloop linear
+    IVs flatten to one term per loop. *)
+
+module Sym = Analysis.Sym
+module Ivclass = Analysis.Ivclass
+
+type t = {
+  terms : (int * Sym.t) list;  (** loop id -> per-iteration step *)
+  const : Sym.t;  (** value at the all-zeros iteration vector *)
+  holds_after : int;  (** wrap-around order *)
+  wrap_loop : int option;  (** the loop the first values belong to *)
+  initials : Sym.t list;  (** values at h = 0 .. holds_after-1 *)
+}
+
+val invariant : Sym.t -> t
+
+(** [of_class c] is the affine view, when the class has one (polynomial,
+    geometric, periodic and monotonic classes do not). *)
+val of_class : Ivclass.t -> t option
+
+(** [coeff t loop] is the step in [loop] (zero when absent). *)
+val coeff : t -> int -> Sym.t
+
+(** [loops t] lists the loops the subscript varies in. *)
+val loops : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** Loop-nest dependence graphs: every ordered pair of same-array
+    references (with at least one write) is tested per subscript
+    dimension; surviving edges carry merged directions, coupled-system
+    distances, and execution-order filtering (an edge exists only for
+    direction vectors compatible with its source running first). *)
+
+module Sym = Analysis.Sym
+module Ivclass = Analysis.Ivclass
+module Driver = Analysis.Driver
+
+type ref_kind = Read | Write
+
+type array_ref = {
+  instr : Ir.Instr.Id.t;
+  array : Ir.Ident.t;
+  kind : ref_kind;
+  block : Ir.Label.t;
+  subscripts : Ivclass.t list;  (** one classification per dimension *)
+  subscript_defs : Ir.Instr.Id.t option list;
+  pos : int;  (** program order *)
+  loops : int list;  (** enclosing loops, outer first *)
+}
+
+type dep_kind = Flow | Anti | Output | Input
+
+type edge = {
+  src : array_ref;
+  dst : array_ref;
+  kind : dep_kind;
+  outcome : Deptest.outcome;
+}
+
+val kind_to_string : dep_kind -> string
+
+(** [collect_refs t] lists every array reference in program order, with
+    subscripts classified in the global (whole-nest) frame. *)
+val collect_refs : Driver.t -> array_ref list
+
+(** [common_loops a b]: the loops enclosing both references, outer
+    first. *)
+val common_loops : array_ref -> array_ref -> int list
+
+(** [strict_region t loop family] is the set of loop blocks where a
+    monotonic family value cannot repeat on later iterations — every
+    in-loop path onward passes a strict update (paper §5.4's
+    "post-dominated by the strictly monotonic assignment"). *)
+val strict_region : Driver.t -> int -> int -> Ir.Label.Set.t
+
+(** [build t] is the dependence graph: both directions of every
+    same-array pair with at least one write, plus self-output edges for
+    writes; subscript strictness is refined by {!strict_region} first.
+    Input (read-read) pairs are included only on request. *)
+val build : ?include_input:bool -> Driver.t -> edge list
+
+(** [direction_vectors_of ~bounds e] intersects per-dimension direction
+    vector enumerations, when every dimension is affine and decidable. *)
+val direction_vectors_of :
+  bounds:(int -> int option) -> edge -> Deptest.simple_dir list list option
+
+val dependent_edges : edge list -> edge list
+val pp_edge : Driver.t -> Format.formatter -> edge -> unit
+val pp : Driver.t -> Format.formatter -> edge list -> unit
+val to_string : Driver.t -> edge list -> string

@@ -1,0 +1,713 @@
+(* Data dependence testing over classified subscripts (paper §6).
+
+   For affine subscripts the dependence equation
+
+       sum_L a_L h_L  -  sum_L b_L h'_L  =  c
+
+   is tested with the GCD test and Banerjee-style bounds, refined per
+   direction (<, =, >) for each common loop. The non-affine classes get
+   the paper's translations:
+
+     - wrap-around: the same equation, flagged as holding only after the
+       wrap order's first iterations;
+     - periodic families: an equality of family members translates into
+       a constraint on iteration numbers modulo the period — in the
+       relaxation pattern, "=" on members becomes "<>" on iterations;
+     - monotonic families: "m = m'" only has solutions compatible with
+       the member's monotonicity; strictly monotonic members force the
+       "=" direction. *)
+
+module Sym = Analysis.Sym
+module Ivclass = Analysis.Ivclass
+open Bignum
+
+(* A feasible set of simple directions between source and sink iteration
+   numbers (source R sink). *)
+type dirset = { lt : bool; eq : bool; gt : bool }
+
+let all_dirs = { lt = true; eq = true; gt = true }
+let no_dirs = { lt = false; eq = false; gt = false }
+let dirset_is_empty d = (not d.lt) && (not d.eq) && not d.gt
+
+let dirset_inter a b = { lt = a.lt && b.lt; eq = a.eq && b.eq; gt = a.gt && b.gt }
+
+let pp_dirset fmt d =
+  let s =
+    match (d.lt, d.eq, d.gt) with
+    | true, true, true -> "*"
+    | true, true, false -> "<="
+    | true, false, true -> "<>"
+    | true, false, false -> "<"
+    | false, true, true -> ">="
+    | false, true, false -> "="
+    | false, false, true -> ">"
+    | false, false, false -> "none"
+  in
+  Format.pp_print_string fmt s
+
+type dependence = {
+  directions : (int * dirset) list; (* per common loop, outer first *)
+  distance : (int * int) list option; (* exact distances when known *)
+  holds_after : int; (* wrap-around order *)
+  exact : bool; (* false: conservative "maybe" *)
+  note : string option;
+}
+
+type outcome = Independent | Dependent of dependence
+
+let maybe ?note common =
+  Dependent
+    {
+      directions = List.map (fun l -> (l, all_dirs)) common;
+      distance = None;
+      holds_after = 0;
+      exact = false;
+      note;
+    }
+
+(* --- the affine equation test --- *)
+
+(* Per-loop integer coefficients of the dependence equation. *)
+type eq_term = { loop : int; a : int; b : int }
+
+let const_int_of_sym s =
+  match Sym.const s with Some r -> Rat.to_int_exact r | None -> None
+
+(* Extract integer coefficients from both affine forms; [None] when a
+   step is symbolic (the test is then conservative). *)
+let equation (src : Affine.t) (dst : Affine.t) =
+  let loops =
+    List.sort_uniq Stdlib.compare (Affine.loops src @ Affine.loops dst)
+  in
+  let terms =
+    List.map
+      (fun l ->
+        match
+          ( const_int_of_sym (Affine.coeff src l),
+            const_int_of_sym (Affine.coeff dst l) )
+        with
+        | Some a, Some b -> Some { loop = l; a; b }
+        | _ -> None)
+      loops
+  in
+  let c = Sym.sub dst.Affine.const src.Affine.const in
+  match (List.for_all Option.is_some terms, const_int_of_sym c) with
+  | true, Some c -> Some (List.filter_map Fun.id terms, c)
+  | _ ->
+    (* Symbolic residue: when the constants differ by a non-constant
+       symbol the equation cannot be decided here. *)
+    None
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* GCD test: an integer solution requires gcd of the coefficients to
+   divide the constant. Under an '=' direction the two counters are one
+   variable with coefficient (a - b). *)
+let gcd_test terms (dirs : (int * [ `Lt | `Eq | `Gt | `Any ]) list) c =
+  let g =
+    List.fold_left
+      (fun g t ->
+        match List.assoc_opt t.loop dirs with
+        | Some `Eq -> gcd g (t.a - t.b)
+        | _ -> gcd (gcd g t.a) t.b)
+      0 terms
+  in
+  if g = 0 then c = 0 else c mod g = 0
+
+(* Banerjee-style bounds by vertex enumeration of each loop's constraint
+   polytope; [u] is the iteration count of the loop (h in [0, u-1]),
+   [None] when unknown or unbounded. *)
+let term_bounds ~(u : int option) ~(dir : [ `Lt | `Eq | `Gt | `Any ]) a b =
+  let open Extint in
+  let fin_points, rays =
+    match (dir, u) with
+    | `Eq, Some u ->
+      if u < 1 then ([], []) else ([ (a - b) * 0; (a - b) * (u - 1) ], [])
+    | `Eq, None -> ([ 0 ], [ a - b ])
+    | `Lt, Some u ->
+      if u < 2 then ([], [])
+      else
+        ( [ (a * 0) - (b * 1); (a * 0) - (b * (u - 1)); (a * (u - 2)) - (b * (u - 1)) ],
+          [] )
+    | `Lt, None -> ([ -b ], [ -b; a - b ])
+    | `Gt, Some u ->
+      if u < 2 then ([], [])
+      else
+        ( [ (a * 1) - (b * 0); (a * (u - 1)) - (b * 0); (a * (u - 1)) - (b * (u - 2)) ],
+          [] )
+    | `Gt, None -> ([ a ], [ a; a - b ])
+    | `Any, Some u ->
+      if u < 1 then ([], [])
+      else
+        ( [ 0; -b * (u - 1); a * (u - 1); (a - b) * (u - 1) ],
+          [] )
+    | `Any, None -> ([ 0 ], [ a; -b; a - b ])
+  in
+  match fin_points with
+  | [] -> None (* infeasible direction (too few iterations) *)
+  | first :: _ ->
+    let lo = ref (Fin (List.fold_left Stdlib.min first fin_points)) in
+    let hi = ref (Fin (List.fold_left Stdlib.max first fin_points)) in
+    List.iter
+      (fun slope ->
+        if slope > 0 then hi := Pos_inf else if slope < 0 then lo := Neg_inf)
+      rays;
+    Some (!lo, !hi)
+
+(* Feasibility of the equation under a direction assignment. *)
+let feasible ~bounds terms dirs c =
+  if not (gcd_test terms dirs c) then false
+  else begin
+    let open Extint in
+    let rec sum lo hi = function
+      | [] -> Some (lo, hi)
+      | t :: rest -> (
+        let dir = Option.value ~default:`Any (List.assoc_opt t.loop dirs) in
+        match term_bounds ~u:(bounds t.loop) ~dir t.a t.b with
+        | None -> None
+        | Some (tlo, thi) -> sum (add lo tlo) (add hi thi) rest)
+    in
+    match sum zero zero terms with
+    | None -> false
+    | Some (lo, hi) -> le lo (Fin c) && le (Fin c) hi
+  end
+
+(* --- hierarchical direction-vector enumeration [WB87] --- *)
+
+type simple_dir = [ `Lt | `Eq | `Gt ]
+
+(* [direction_vectors ~bounds ~common src dst] refines the direction
+   vector tree (*,...,*) -> (<,*,...) -> ... and returns the feasible
+   full vectors, outer loop first. [None] when the subscripts are not
+   decidable (symbolic equation) or the nest is too deep to enumerate. *)
+let direction_vectors ~(bounds : int -> int option) ~(common : int list)
+    (src : Affine.t) (dst : Affine.t) : simple_dir list list option =
+  if List.length common > 6 then None
+  else
+    match equation src dst with
+    | None -> None
+    | Some (terms, c) ->
+      let rec refine fixed = function
+        | [] -> if feasible ~bounds terms fixed c then [ List.rev fixed ] else []
+        | l :: rest ->
+          List.concat_map
+            (fun d ->
+              let fixed = (l, d) :: fixed in
+              (* Prune: skip the whole subtree when already infeasible. *)
+              if feasible ~bounds terms fixed c then refine fixed rest else [])
+            [ `Lt; `Eq; `Gt ]
+      in
+      let vectors = refine [] common in
+      Some
+        (List.map
+           (fun assignment ->
+             List.map
+               (fun (_, d) ->
+                 match d with `Lt -> `Lt | `Eq -> `Eq | `Gt -> `Gt | `Any -> `Eq)
+               assignment)
+           vectors)
+
+let pp_simple_dir fmt (d : simple_dir) =
+  Format.pp_print_string fmt (match d with `Lt -> "<" | `Eq -> "=" | `Gt -> ">")
+
+(* [equation_for_distances src dst] views the dependence equation as a
+   constraint on per-loop iteration distances d_L = h'_L - h_L, when
+   every loop's two coefficients agree: sum a_L d_L = -c. Used by the
+   coupled-subscript refinement (e.g. A(i,j) = A(i-1,j) in a triangular
+   nest, where dim 2 alone determines no distance but the system does). *)
+let equation_for_distances (src : Affine.t) (dst : Affine.t) :
+    ((int * int) list * int) option =
+  match equation src dst with
+  | Some (terms, c) ->
+    if List.for_all (fun t -> t.a = t.b) terms then
+      Some (List.map (fun t -> (t.loop, t.a)) terms, -c)
+    else None
+  | None -> None
+
+(* [solve_distance_system rows] solves the linear system of distance
+   constraints by exact elimination; returns the loops whose distance is
+   uniquely determined, or [None] when the system is inconsistent over
+   the rationals (proving independence). *)
+let solve_distance_system (rows : ((int * int) list * int) list) :
+    (int * int) list option =
+  (* Collect variables. *)
+  let vars =
+    List.sort_uniq Stdlib.compare (List.concat_map (fun (ts, _) -> List.map fst ts) rows)
+  in
+  let n = List.length vars in
+  let index l =
+    let rec go i = function
+      | [] -> assert false
+      | v :: _ when v = l -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let m = List.length rows in
+  if n = 0 then
+    (* No variables: consistent iff every rhs is zero. *)
+    if List.for_all (fun (_, c) -> c = 0) rows then Some [] else None
+  else begin
+    let a = Array.make_matrix m (n + 1) Bignum.Rat.zero in
+    List.iteri
+      (fun i (ts, c) ->
+        List.iter (fun (l, k) -> a.(i).(index l) <- Bignum.Rat.of_int k) ts;
+        a.(i).(n) <- Bignum.Rat.of_int c)
+      rows;
+    (* Gaussian elimination to row echelon, tracking pivot columns. *)
+    let pivots = ref [] in
+    let row = ref 0 in
+    (try
+       for col = 0 to n - 1 do
+         if !row < m then begin
+           let p = ref (-1) in
+           for i = !row to m - 1 do
+             if !p < 0 && not (Bignum.Rat.is_zero a.(i).(col)) then p := i
+           done;
+           if !p >= 0 then begin
+             let tmp = a.(!row) in
+             a.(!row) <- a.(!p);
+             a.(!p) <- tmp;
+             let inv = Bignum.Rat.inv a.(!row).(col) in
+             for j = col to n do
+               a.(!row).(j) <- Bignum.Rat.mul inv a.(!row).(j)
+             done;
+             for i = 0 to m - 1 do
+               if i <> !row && not (Bignum.Rat.is_zero a.(i).(col)) then begin
+                 let f = a.(i).(col) in
+                 for j = col to n do
+                   a.(i).(j) <- Bignum.Rat.sub a.(i).(j) (Bignum.Rat.mul f a.(!row).(j))
+                 done
+               end
+             done;
+             pivots := (col, !row) :: !pivots;
+             incr row
+           end
+         end
+       done
+     with Exit -> ());
+    (* Inconsistent: a zero row with nonzero rhs. *)
+    let inconsistent = ref false in
+    for i = 0 to m - 1 do
+      let zero_lhs = ref true in
+      for j = 0 to n - 1 do
+        if not (Bignum.Rat.is_zero a.(i).(j)) then zero_lhs := false
+      done;
+      if !zero_lhs && not (Bignum.Rat.is_zero a.(i).(n)) then inconsistent := true
+    done;
+    if !inconsistent then None
+    else begin
+      (* A pivot row with no other nonzero lhs entries determines its
+         variable uniquely. *)
+      let determined =
+        List.filter_map
+          (fun (col, r) ->
+            let unique = ref true in
+            for j = 0 to n - 1 do
+              if j <> col && not (Bignum.Rat.is_zero a.(r).(j)) then unique := false
+            done;
+            if !unique then
+              match Bignum.Rat.to_int_exact a.(r).(n) with
+              | Some d -> Some (List.nth vars col, d)
+              | None ->
+                (* Fractional distance: no integer solution at all. *)
+                raise Exit
+            else None)
+          !pivots
+      in
+      Some (List.sort Stdlib.compare determined)
+    end
+  end
+
+let solve_distance_system rows =
+  match solve_distance_system rows with
+  | exception Exit -> None (* fractional determined distance: independent *)
+  | x -> x
+
+(* Dependences through a wrap-around subscript's *first* iterations: the
+   steady-state equation only covers h >= order, so each recorded initial
+   value is solved against the other side separately (paper §6: the
+   relation "holds after k iterations"; the first k must still be
+   accounted for). Returns the extra feasible directions on the wrap
+   loop, or [None] for "cannot tell" (forces a conservative result). *)
+let initial_dirs ~(bounds : int -> int option) ~(wrap_side : Affine.t)
+    ~(other : Affine.t) ~(flipped : bool) : dirset option =
+  match wrap_side.Affine.wrap_loop with
+  | None -> Some no_dirs
+  | Some wl -> (
+    (* The other side as b*h' + c2 on the wrap loop only. *)
+    let other_ok =
+      List.for_all (fun (l, _) -> l = wl) other.Affine.terms
+      && other.Affine.holds_after = 0
+    in
+    let b = const_int_of_sym (Affine.coeff other wl) in
+    let c2 = const_int_of_sym other.Affine.const in
+    if not other_ok then None
+    else begin
+      match (b, c2) with
+      | Some b, Some c2 ->
+        let u = bounds wl in
+        let dirs = ref no_dirs in
+        let add_rel i h' =
+          (* Direction between the wrap side's iteration i and the other
+             side's iteration h' (swapped when the wrap side is the
+             sink). *)
+          let lt, eq, gt =
+            if i < h' then (true, false, false)
+            else if i = h' then (false, true, false)
+            else (false, false, true)
+          in
+          let lt, gt = if flipped then (gt, lt) else (lt, gt) in
+          dirs :=
+            {
+              lt = !dirs.lt || lt;
+              eq = !dirs.eq || eq;
+              gt = !dirs.gt || gt;
+            }
+        in
+        let ok = ref true in
+        List.iteri
+          (fun i v ->
+            match Sym.const v with
+            | None -> ok := false
+            | Some v -> (
+              match Rat.to_int_exact v with
+              | None -> ()
+              | Some v ->
+                if b = 0 then begin
+                  (* Invariant other side: collides on every iteration. *)
+                  if v = c2 then begin
+                    add_rel i (i + 1);
+                    add_rel i i;
+                    add_rel i (Stdlib.max 0 (i - 1))
+                  end
+                end
+                else if (v - c2) mod b = 0 then begin
+                  let h' = (v - c2) / b in
+                  let in_range =
+                    h' >= 0 && (match u with Some u -> h' < u | None -> true)
+                  in
+                  (* Steady range of the other side only; pairs against
+                     its own initials are handled by the caller's
+                     conservative path. *)
+                  if in_range && h' >= other.Affine.holds_after then add_rel i h'
+                end))
+          wrap_side.Affine.initials;
+        if !ok then Some !dirs else None
+      | _ -> None
+    end)
+
+let dirset_union a b = { lt = a.lt || b.lt; eq = a.eq || b.eq; gt = a.gt || b.gt }
+
+(* [affine_test ~bounds ~common src dst] runs the full test between two
+   affine subscripts. *)
+let affine_test ~(bounds : int -> int option) ~(common : int list) (src : Affine.t)
+    (dst : Affine.t) : outcome =
+  let holds_after = Stdlib.max src.Affine.holds_after dst.Affine.holds_after in
+  (* Dependences through the wrap-around initial iterations, analyzed
+     separately from the steady-state equation. [None]: unanalyzable,
+     forcing a conservative result. *)
+  let initial_extra : dirset option =
+    if holds_after = 0 then Some no_dirs
+    else if src.Affine.holds_after > 0 && dst.Affine.holds_after > 0 then begin
+      (* Initial-vs-initial pairs (both sides constant), plus each side's
+         initials against the other's steady state. *)
+      match
+        ( initial_dirs ~bounds ~wrap_side:src ~other:dst ~flipped:false,
+          initial_dirs ~bounds ~wrap_side:dst ~other:src ~flipped:true )
+      with
+      | Some a, Some b ->
+        let pairwise = ref (dirset_union a b) in
+        let ok = ref true in
+        List.iteri
+          (fun i v1 ->
+            List.iteri
+              (fun j v2 ->
+                match (Sym.const v1, Sym.const v2) with
+                | Some x, Some y ->
+                  if Rat.equal x y then
+                    pairwise :=
+                      dirset_union !pairwise
+                        { lt = i < j; eq = i = j; gt = i > j }
+                | _ -> ok := false)
+              dst.Affine.initials)
+          src.Affine.initials;
+        if !ok then Some !pairwise else None
+      | _ -> None
+    end
+    else if src.Affine.holds_after > 0 then
+      initial_dirs ~bounds ~wrap_side:src ~other:dst ~flipped:false
+    else initial_dirs ~bounds ~wrap_side:dst ~other:src ~flipped:true
+  in
+  let widen_with_initials (steady : outcome) : outcome =
+    match initial_extra with
+    | Some extra when dirset_is_empty extra -> steady
+    | Some extra -> (
+      let wl =
+        match (src.Affine.wrap_loop, dst.Affine.wrap_loop) with
+        | Some l, _ | None, Some l -> l
+        | None, None -> -1
+      in
+      let widen directions =
+        List.map
+          (fun (l, ds) ->
+            if l = wl then (l, dirset_union ds extra) else (l, dirset_union ds all_dirs))
+          directions
+      in
+      match steady with
+      | Independent ->
+        Dependent
+          {
+            directions =
+              widen (List.map (fun l -> (l, no_dirs)) common);
+            distance = None;
+            holds_after;
+            exact = true;
+            note = Some "dependence only through the wrap-around initial values";
+          }
+      | Dependent d ->
+        Dependent
+          { d with directions = widen d.directions; distance = None })
+    | None -> (
+      match steady with
+      | Independent ->
+        maybe ~note:"wrap-around initial iterations unanalyzed" common
+      | Dependent d ->
+        Dependent
+          {
+            d with
+            directions = List.map (fun (l, _) -> (l, all_dirs)) d.directions;
+            distance = None;
+            exact = false;
+            note = Some "wrap-around initial iterations unanalyzed";
+          })
+  in
+  match equation src dst with
+  | None -> maybe ~note:"symbolic coefficients; assumed dependent" common
+  | Some (terms, c) ->
+    if not (feasible ~bounds terms [] c) then widen_with_initials Independent
+    else begin
+      (* Refine each common loop's direction with the others at '*'. *)
+      let directions =
+        List.map
+          (fun l ->
+            let try_dir d = feasible ~bounds terms [ (l, d) ] c in
+            (l, { lt = try_dir `Lt; eq = try_dir `Eq; gt = try_dir `Gt }))
+          common
+      in
+      if List.exists (fun (_, d) -> dirset_is_empty d) directions then
+        widen_with_initials Independent
+      else begin
+        (* Exact distances: per loop with a = b <> 0 and this the only
+           loop in the equation (strong SIV). *)
+        let distance =
+          match terms with
+          | [ t ] when t.a = t.b && t.a <> 0 && List.mem t.loop common ->
+            (* a(h - h') = c, so the sink-minus-source distance is -c/a. *)
+            if c mod t.a = 0 then Some [ (t.loop, -(c / t.a)) ] else None
+          | [] -> Some []
+          | _ -> None
+        in
+        (* A known distance sharpens the direction set. *)
+        let directions =
+          match distance with
+          | Some [ (l, d) ] ->
+            List.map
+              (fun (l', ds) ->
+                if l' = l then
+                  (l', dirset_inter ds { lt = d > 0; eq = d = 0; gt = d < 0 })
+                else (l', ds))
+              directions
+          | _ -> directions
+        in
+        if List.exists (fun (_, d) -> dirset_is_empty d) directions then
+          widen_with_initials Independent
+        else
+          widen_with_initials
+            (Dependent { directions; distance; holds_after; exact = true; note = None })
+      end
+    end
+
+(* --- translations for the non-affine classes (§6) --- *)
+
+(* [rotation_of p q] finds s with q.values[i] = p.values[(i+s) mod n],
+   i.e. q is the same rotating tuple seen s steps ahead. *)
+let rotation_of (p : Ivclass.periodic) (q : Ivclass.periodic) =
+  let n = p.Ivclass.period in
+  let matches s =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if not (Sym.equal q.Ivclass.values.(i) p.Ivclass.values.((i + s) mod n)) then
+        ok := false
+    done;
+    !ok
+  in
+  let rec find s = if s >= n then None else if matches s then Some s else find (s + 1) in
+  find 0
+
+let periodic_test ~common (p : Ivclass.periodic) (q : Ivclass.periodic) : outcome =
+  let rotation =
+    if p.Ivclass.loop = q.Ivclass.loop && p.Ivclass.period = q.Ivclass.period then
+      rotation_of p q
+    else None
+  in
+  match rotation with
+  | None -> maybe ~note:"periodic subscripts from different families" common
+  | Some rot ->
+    (* Express q in p's frame: q(h) = q.values[(h + q.phase) mod n]
+       = p.values[(h + q.phase + rot) mod n]. *)
+    let q =
+      Ivclass.
+        {
+          q with
+          values = Array.copy p.Ivclass.values;
+          phase = (q.Ivclass.phase + rot) mod q.Ivclass.period;
+        }
+    in
+    begin
+    let values = Array.to_list p.Ivclass.values in
+    let consts = List.map Sym.const values in
+    let distinct =
+      List.for_all Option.is_some consts
+      &&
+      let cs = List.filter_map Fun.id consts in
+      List.length (List.sort_uniq Rat.compare cs) = List.length cs
+    in
+    if not distinct then
+      maybe ~note:"periodic family: initial values not provably distinct" common
+    else begin
+      (* values[(h+p1) mod p] = values[(h'+p2) mod p] iff
+         h - h' = p2 - p1 (mod p). *)
+      let period = p.Ivclass.period in
+      let shift = ((q.Ivclass.phase - p.Ivclass.phase) mod period + period) mod period in
+      let d =
+        if shift = 0 then
+          (* h = h' (mod p): includes equal iterations. *)
+          all_dirs
+        else { lt = true; eq = false; gt = true }
+      in
+      let directions =
+        List.map
+          (fun l -> if l = p.Ivclass.loop then (l, d) else (l, all_dirs))
+          common
+      in
+      Dependent
+        {
+          directions;
+          distance = None;
+          holds_after = 0;
+          exact = true;
+          note =
+            Some
+              (if shift = 0 then
+                 Printf.sprintf "periodic: dependence only when h = h' (mod %d)" period
+               else
+                 Printf.sprintf
+                   "periodic: members differ by %d (mod %d); '=' impossible" shift
+                   period);
+        }
+    end
+  end
+
+let monotonic_test ~common ~(same_def : bool) (m : Ivclass.monotonic)
+    (m' : Ivclass.monotonic) : outcome =
+  if m.Ivclass.loop <> m'.Ivclass.loop || m.Ivclass.family <> m'.Ivclass.family
+     || m.Ivclass.dir <> m'.Ivclass.dir
+  then maybe ~note:"monotonic subscripts from different families" common
+  else begin
+    let d =
+      if same_def && m.Ivclass.strict && m'.Ivclass.strict then
+        (* A strictly monotonic subscript never repeats: only h = h'. *)
+        { lt = false; eq = true; gt = false }
+      else
+        (* Nondecreasing values can only coincide moving forward. *)
+        { lt = true; eq = true; gt = false }
+    in
+    let directions =
+      List.map (fun l -> if l = m.Ivclass.loop then (l, d) else (l, all_dirs)) common
+    in
+    Dependent
+      {
+        directions;
+        distance = None;
+        holds_after = 0;
+        exact = false;
+        note =
+          Some
+            (if same_def && m.Ivclass.strict then
+               "strictly monotonic: dependence direction (=)"
+             else "monotonic: dependence direction (<=)");
+      }
+  end
+
+(* --- driver over classifications --- *)
+
+let rec strip_wrap = function
+  | Ivclass.Wrap { inner; order; _ } ->
+    let c, o = strip_wrap inner in
+    (c, o + order)
+  | c -> (c, 0)
+
+(* [test ~bounds ~common ?src_def ?dst_def src dst] tests a pair of
+   subscript classifications. [src_def]/[dst_def] identify the SSA defs
+   (used to recognize same-def monotonic pairs). *)
+let test ~(bounds : int -> int option) ~(common : int list)
+    ?(src_def : Ir.Instr.Id.t option) ?(dst_def : Ir.Instr.Id.t option)
+    (src_class : Ivclass.t) (dst_class : Ivclass.t) : outcome =
+  let src_c, o1 = strip_wrap src_class in
+  let dst_c, o2 = strip_wrap dst_class in
+  let wrap_order = Stdlib.max o1 o2 in
+  let with_wrap outcome =
+    match outcome with
+    | Dependent d when wrap_order > 0 ->
+      Dependent { d with holds_after = Stdlib.max d.holds_after wrap_order }
+    | o -> o
+  in
+  match (Affine.of_class src_class, Affine.of_class dst_class) with
+  | Some a, Some b -> affine_test ~bounds ~common a b
+  | _ -> (
+    match (src_c, dst_c) with
+    | Ivclass.Periodic p, Ivclass.Periodic q ->
+      with_wrap (periodic_test ~common p q)
+    | Ivclass.Monotonic m, Ivclass.Monotonic m' ->
+      let same_def =
+        match (src_def, dst_def) with
+        | Some a, Some b -> Ir.Instr.Id.equal a b
+        | _ -> false
+      in
+      with_wrap (monotonic_test ~common ~same_def m m')
+    | Ivclass.Invariant s, Ivclass.Periodic p | Ivclass.Periodic p, Ivclass.Invariant s
+      -> (
+      (* Invariant vs periodic: independent when the invariant is a
+         constant missing from a constant value tuple. *)
+      match Sym.const s with
+      | Some c
+        when Array.for_all
+               (fun v ->
+                 match Sym.const v with
+                 | Some v -> not (Rat.equal v c)
+                 | None -> false)
+               p.Ivclass.values ->
+        Independent
+      | _ -> maybe common)
+    | _ -> maybe common)
+
+let pp_outcome fmt = function
+  | Independent -> Format.pp_print_string fmt "independent"
+  | Dependent d ->
+    Format.fprintf fmt "dependent (%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt (l, ds) -> Format.fprintf fmt "L%d:%a" l pp_dirset ds))
+      d.directions;
+    (match d.distance with
+     | Some [] | None -> ()
+     | Some ds ->
+       Format.fprintf fmt " distance (%a)"
+         (Format.pp_print_list
+            ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+            (fun fmt (l, n) -> Format.fprintf fmt "L%d:%d" l n))
+         ds);
+    if d.holds_after > 0 then Format.fprintf fmt " [after %d iterations]" d.holds_after;
+    if not d.exact then Format.fprintf fmt " [conservative]";
+    (match d.note with Some n -> Format.fprintf fmt " — %s" n | None -> ())

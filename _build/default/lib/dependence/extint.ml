@@ -1,0 +1,41 @@
+(* Integers extended with infinities, for Banerjee-style bound
+   computations where a loop bound may be unknown or infinite. *)
+
+type t = Neg_inf | Fin of int | Pos_inf
+
+let zero = Fin 0
+let of_int n = Fin n
+
+let add a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (x + y)
+  | Pos_inf, Neg_inf | Neg_inf, Pos_inf ->
+    invalid_arg "Extint.add: opposite infinities"
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+
+(* [mul_scalar c x] multiplies by a finite integer. *)
+let mul_scalar c x =
+  match x with
+  | Fin v -> Fin (c * v)
+  | Pos_inf -> if c > 0 then Pos_inf else if c < 0 then Neg_inf else Fin 0
+  | Neg_inf -> if c > 0 then Neg_inf else if c < 0 then Pos_inf else Fin 0
+
+let compare a b =
+  match (a, b) with
+  | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+  | Neg_inf, _ -> -1
+  | _, Neg_inf -> 1
+  | Pos_inf, _ -> 1
+  | _, Pos_inf -> -1
+  | Fin x, Fin y -> Stdlib.compare x y
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let le a b = compare a b <= 0
+
+let pp fmt = function
+  | Neg_inf -> Format.pp_print_string fmt "-inf"
+  | Pos_inf -> Format.pp_print_string fmt "+inf"
+  | Fin n -> Format.pp_print_int fmt n

@@ -1,0 +1,19 @@
+(** Integers extended with infinities, for Banerjee-style bounds where a
+    loop bound may be unknown or unbounded. *)
+
+type t = Neg_inf | Fin of int | Pos_inf
+
+val zero : t
+val of_int : int -> t
+
+(** @raise Invalid_argument on adding opposite infinities. *)
+val add : t -> t -> t
+
+(** [mul_scalar c x] multiplies by a finite integer. *)
+val mul_scalar : int -> t -> t
+
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val le : t -> t -> bool
+val pp : Format.formatter -> t -> unit

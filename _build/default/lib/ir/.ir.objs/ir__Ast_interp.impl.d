@@ -1,0 +1,1 @@
+lib/ir/ast_interp.ml: Ast Hashtbl Ident List Ops Option

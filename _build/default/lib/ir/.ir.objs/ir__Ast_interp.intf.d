@@ -1,0 +1,1 @@
+lib/ir/ast_interp.mli: Ast Hashtbl Ident

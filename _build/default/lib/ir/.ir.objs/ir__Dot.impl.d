@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Cfg Format Ident Instr Label List Printf Ssa String

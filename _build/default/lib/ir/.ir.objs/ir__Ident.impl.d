@@ -1,0 +1,1 @@
+lib/ir/ident.ml: Format Hashtbl Map Set Stdlib

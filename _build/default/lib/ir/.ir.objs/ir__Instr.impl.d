@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Format Hashtbl Ident Int Map Ops Set Stdlib

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Cfg Hashtbl Ident Instr Label List Loops Ops Option Ssa

@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Cfg Dom Format Hashtbl Label List Option String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Cfg Ident Instr Label List Ops Parser Printf

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Ast Ident Lexer Ops Printf

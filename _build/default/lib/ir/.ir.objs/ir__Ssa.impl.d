@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Cfg Dom Format Hashtbl Ident Instr Label List Loops Lower Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/ir/ssa.mli: Ast Cfg Dom Format Ident Instr Loops

@@ -1,0 +1,99 @@
+(* Surface abstract syntax for the small structured loop language used
+   throughout the paper's examples (L1..L24, Figures 1-10).
+
+   The language is deliberately tiny: integer scalars, one-dimensional
+   arrays, structured loops, and conditionals. An opaque boolean [Unknown]
+   condition ("??" in the concrete syntax) models the paper's "if exp
+   then" branches whose predicate the analysis must not look into. *)
+
+type expr =
+  | Int of int
+  | Var of Ident.t
+  | Aref of Ident.t * expr list (* A(e) or A(e1, e2, ...) *)
+  | Binop of Ops.binop * expr * expr
+  | Neg of expr
+
+type cond =
+  | Cmp of Ops.relop * expr * expr
+  | Unknown (* an opaque predicate: "??" *)
+
+type stmt =
+  | Assign of Ident.t * expr
+  | Astore of Ident.t * expr list * expr (* A(e1,...) = e *)
+  | If of cond * stmt list * stmt list
+  | Loop of string * stmt list (* loop <name> ... endloop *)
+  | For of for_loop
+  | Exit_if of cond (* if cond exit: exits the innermost loop *)
+
+and for_loop = {
+  name : string; (* loop label, e.g. "L18" *)
+  var : Ident.t;
+  lo : expr;
+  hi : expr;
+  step : int; (* constant, non-zero; default 1 *)
+  body : stmt list;
+}
+
+type program = { stmts : stmt list }
+
+let rec pp_expr fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Var v -> Ident.pp fmt v
+  | Aref (a, idx) ->
+    Format.fprintf fmt "%a(%a)" Ident.pp a
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      idx
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (Ops.binop_to_string op) pp_expr b
+  | Neg e -> Format.fprintf fmt "(-%a)" pp_expr e
+
+let pp_cond fmt = function
+  | Cmp (op, a, b) ->
+    Format.fprintf fmt "%a %s %a" pp_expr a (Ops.relop_to_string op) pp_expr b
+  | Unknown -> Format.pp_print_string fmt "??"
+
+let rec pp_stmt fmt = function
+  | Assign (v, e) -> Format.fprintf fmt "@[<h>%a = %a@]" Ident.pp v pp_expr e
+  | Astore (a, idx, e) ->
+    Format.fprintf fmt "@[<h>%a(%a) = %a@]" Ident.pp a
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      idx pp_expr e
+  | If (c, t, []) ->
+    Format.fprintf fmt "@[<v 2>if %a then@,%a@]@,endif" pp_cond c pp_stmts t
+  | If (c, t, e) ->
+    Format.fprintf fmt "@[<v 2>if %a then@,%a@]@,@[<v 2>else@,%a@]@,endif"
+      pp_cond c pp_stmts t pp_stmts e
+  | Loop (name, body) ->
+    Format.fprintf fmt "@[<v 2>%s: loop@,%a@]@,endloop" name pp_stmts body
+  | For { name; var; lo; hi; step; body } ->
+    if step = 1 then
+      Format.fprintf fmt "@[<v 2>%s: for %a = %a to %a loop@,%a@]@,endloop" name
+        Ident.pp var pp_expr lo pp_expr hi pp_stmts body
+    else
+      Format.fprintf fmt "@[<v 2>%s: for %a = %a to %a by %d loop@,%a@]@,endloop"
+        name Ident.pp var pp_expr lo pp_expr hi step pp_stmts body
+  | Exit_if c -> Format.fprintf fmt "@[<h>if %a exit@]" pp_cond c
+
+and pp_stmts fmt stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt stmts
+
+let pp_program fmt { stmts } = Format.fprintf fmt "@[<v>%a@]" pp_stmts stmts
+
+let to_string p = Format.asprintf "%a" pp_program p
+
+(* Convenience constructors for building paper examples in OCaml code. *)
+let v name = Var (Ident.of_string name)
+let i n = Int n
+let ( + ) a b = Binop (Ops.Add, a, b)
+let ( - ) a b = Binop (Ops.Sub, a, b)
+let ( * ) a b = Binop (Ops.Mul, a, b)
+let assign name e = Assign (Ident.of_string name, e)
+let aref name idx = Aref (Ident.of_string name, idx)
+let astore name idx e = Astore (Ident.of_string name, idx, e)
+
+let for_ name var lo hi ?(step = 1) body =
+  For { name; var = Ident.of_string var; lo; hi; step; body }

@@ -1,0 +1,59 @@
+(** Surface abstract syntax for the structured loop language used by the
+    paper's examples: integer scalars, multi-dimensional arrays,
+    structured loops and conditionals, and an opaque boolean condition
+    ("??") that models the paper's "if exp then" branches. *)
+
+type expr =
+  | Int of int
+  | Var of Ident.t
+  | Aref of Ident.t * expr list  (** array read [A(e1, ..., en)] *)
+  | Binop of Ops.binop * expr * expr
+  | Neg of expr
+
+type cond =
+  | Cmp of Ops.relop * expr * expr
+  | Unknown  (** the opaque predicate "??" *)
+
+type stmt =
+  | Assign of Ident.t * expr
+  | Astore of Ident.t * expr list * expr  (** [A(e1,...) = e] *)
+  | If of cond * stmt list * stmt list
+  | Loop of string * stmt list  (** labelled infinite loop *)
+  | For of for_loop
+  | Exit_if of cond  (** [if cond exit]: leaves the innermost loop *)
+
+and for_loop = {
+  name : string;  (** loop label, e.g. "L18" *)
+  var : Ident.t;
+  lo : expr;
+  hi : expr;
+  step : int;  (** constant and non-zero; 1 by default *)
+  body : stmt list;
+}
+
+type program = { stmts : stmt list }
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_stmts : Format.formatter -> stmt list -> unit
+val pp_program : Format.formatter -> program -> unit
+
+(** [to_string p] pretty-prints in the concrete syntax accepted by
+    {!Parser.parse} (parse-print-parse is stable). *)
+val to_string : program -> string
+
+(** {1 Construction helpers}
+
+    Convenience constructors for building paper examples directly in
+    OCaml (used by the test generators). *)
+
+val v : string -> expr
+val i : int -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val assign : string -> expr -> stmt
+val aref : string -> expr list -> expr
+val astore : string -> expr list -> expr -> stmt
+val for_ : string -> string -> expr -> expr -> ?step:int -> stmt list -> stmt

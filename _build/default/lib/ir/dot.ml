@@ -1,0 +1,81 @@
+(* Graphviz (DOT) renderings of the CFG and of per-loop SSA graphs, for
+   `ivtool dot-cfg` / `dot-ssa` and for debugging analyses visually. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [cfg_to_dot cfg] renders blocks as record nodes with their
+   instructions, and control edges (branch edges labelled T/F). *)
+let cfg_to_dot (cfg : Cfg.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun l ->
+      let b = Cfg.block cfg l in
+      let body =
+        String.concat "\n"
+          (List.map (fun i -> Format.asprintf "%a" Instr.pp i) b.Cfg.instrs)
+      in
+      let header =
+        match b.Cfg.loop_name with
+        | Some name -> Printf.sprintf "%s (loop %s)" (Label.to_string l) name
+        | None -> Label.to_string l
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\\l%s\\l\"];\n" (Label.to_string l)
+           (escape header) (escape body));
+      match b.Cfg.term with
+      | Cfg.Jump t ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s;\n" (Label.to_string l) (Label.to_string t))
+      | Cfg.Branch (_, t1, t2) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [label=\"T\"];\n" (Label.to_string l)
+             (Label.to_string t1));
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [label=\"F\"];\n" (Label.to_string l)
+             (Label.to_string t2))
+      | Cfg.Halt -> ())
+    (Cfg.labels cfg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* [ssa_to_dot ssa] renders the whole program's def-use graph with the
+   paper's operator mnemonics and SSA names; edges run from operations to
+   their operands (the paper's Figure 2 orientation). *)
+let ssa_to_dot (ssa : Ssa.t) : string =
+  let cfg = Ssa.cfg ssa in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph ssa {\n  node [shape=ellipse, fontname=\"monospace\"];\n";
+  Cfg.iter_instrs cfg (fun _ (i : Instr.t) ->
+      let name = Ssa.primary_name ssa i.Instr.id in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s = %s\"];\n" i.Instr.id (escape name)
+           (escape (Instr.op_name i.Instr.op)));
+      Array.iter
+        (fun (v : Instr.value) ->
+          match v with
+          | Instr.Def d ->
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i.Instr.id d)
+          | Instr.Const c ->
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> c%d_%d; c%d_%d [label=\"%d\", shape=plaintext];\n"
+                 i.Instr.id i.Instr.id c i.Instr.id c c)
+          | Instr.Param x ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  n%d -> p_%s; p_%s [label=\"%s0\", shape=plaintext];\n" i.Instr.id
+                 (Ident.name x) (Ident.name x) (Ident.name x)))
+        i.Instr.args);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

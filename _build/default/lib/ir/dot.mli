@@ -1,0 +1,9 @@
+(** Graphviz (DOT) renderings for debugging and documentation. *)
+
+(** [cfg_to_dot cfg]: blocks as record nodes, branch edges labelled T/F. *)
+val cfg_to_dot : Cfg.t -> string
+
+(** [ssa_to_dot ssa]: the def-use graph with the paper's operator
+    mnemonics and SSA names, edges from operations to operands (the
+    orientation of the paper's Figure 2). *)
+val ssa_to_dot : Ssa.t -> string

@@ -1,0 +1,21 @@
+(** Source-level identifiers (variable and array names).
+
+    Identifiers are interned: [of_string] returns the same value for the
+    same name, so comparisons are integer comparisons. The intern table
+    is process-global, which suits a single-compilation tool. *)
+
+type t
+
+(** [of_string name] interns [name]. *)
+val of_string : string -> t
+
+(** [name t] is the source spelling. *)
+val name : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,91 @@
+(* The flat tuple IR of the paper's Section 3: every instruction is an
+   operation with operand values; an instruction's result is named by its
+   id. Scalar variables appear as Load/Store instructions until SSA
+   construction promotes them to direct def-use edges (the paper's
+   "ssalink" resolution); array accesses stay as Aload/Astore. *)
+
+module Id = struct
+  type t = int
+
+  let compare = Stdlib.compare
+  let equal (a : t) b = a = b
+  let hash (t : t) = t
+  let to_string t = "%" ^ string_of_int t
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+  module Map = Map.Make (Int)
+  module Set = Set.Make (Int)
+  module Table = Hashtbl.Make (struct
+    type t = int
+
+    let equal (a : int) b = a = b
+    let hash (t : int) = t
+  end)
+end
+
+(* A value is an operand position: the result of another instruction, an
+   integer literal (the paper's LT tuples, folded inline), or a symbolic
+   program input never assigned before use. *)
+type value =
+  | Def of Id.t
+  | Const of int
+  | Param of Ident.t
+
+type op =
+  | Binop of Ops.binop (* args: [| a; b |] *)
+  | Relop of Ops.relop (* args: [| a; b |]; result is 0/1 *)
+  | Neg (* args: [| a |] *)
+  | Phi (* args: one per predecessor, in predecessor order *)
+  | Load of Ident.t (* scalar load; args: [||]; removed by SSA *)
+  | Store of Ident.t (* scalar store; args: [| v |]; removed by SSA *)
+  | Aload of Ident.t (* array load; args: indices *)
+  | Astore of Ident.t (* array store; args: indices @ [ value ] *)
+  | Rand (* opaque boolean source for '??' conditions *)
+
+type t = { id : Id.t; op : op; mutable args : value array }
+
+let value_equal a b =
+  match (a, b) with
+  | Def x, Def y -> Id.equal x y
+  | Const x, Const y -> x = y
+  | Param x, Param y -> Ident.equal x y
+  | (Def _ | Const _ | Param _), _ -> false
+
+let pp_value fmt = function
+  | Def id -> Id.pp fmt id
+  | Const n -> Format.pp_print_int fmt n
+  | Param x -> Format.fprintf fmt "@@%a" Ident.pp x
+
+let op_name = function
+  | Binop Ops.Add -> "AD"
+  | Binop Ops.Sub -> "SB"
+  | Binop Ops.Mul -> "MP"
+  | Binop Ops.Div -> "DV"
+  | Binop Ops.Exp -> "EX"
+  | Relop r -> "CMP" ^ Ops.relop_to_string r
+  | Neg -> "NG"
+  | Phi -> "PH"
+  | Load _ -> "LD"
+  | Store _ -> "ST"
+  | Aload _ -> "LDX"
+  | Astore _ -> "STX"
+  | Rand -> "RAND"
+
+let pp fmt { id; op; args } =
+  let pp_args fmt args =
+    Format.pp_print_array
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_value fmt args
+  in
+  match op with
+  | Load x -> Format.fprintf fmt "%a = LD %a" Id.pp id Ident.pp x
+  | Store x -> Format.fprintf fmt "%a = ST %a, %a" Id.pp id Ident.pp x pp_args args
+  | Aload x -> Format.fprintf fmt "%a = LDX %a[%a]" Id.pp id Ident.pp x pp_args args
+  | Astore x -> Format.fprintf fmt "%a = STX %a[%a]" Id.pp id Ident.pp x pp_args args
+  | op -> Format.fprintf fmt "%a = %s %a" Id.pp id (op_name op) pp_args args
+
+(* [is_pure op] holds when the instruction has no side effect and can be
+   removed if unused. *)
+let is_pure = function
+  | Binop _ | Relop _ | Neg | Phi | Load _ | Aload _ -> true
+  | Store _ | Astore _ | Rand -> false

@@ -1,0 +1,48 @@
+(** The flat tuple IR of the paper's §3: each instruction is an operation
+    over operand values, named by its id. Scalar Load/Store instructions
+    exist only between lowering and SSA construction (which promotes them
+    to direct def-use edges); array accesses remain. *)
+
+module Id : sig
+  type t = int
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = int
+  module Set : Set.S with type elt = int
+  module Table : Hashtbl.S with type key = int
+end
+
+(** An operand: another instruction's result, an integer literal (the
+    paper's LT tuples, folded inline), or a symbolic program input. *)
+type value = Def of Id.t | Const of int | Param of Ident.t
+
+type op =
+  | Binop of Ops.binop  (** args: [| a; b |] *)
+  | Relop of Ops.relop  (** args: [| a; b |]; result 0/1 *)
+  | Neg  (** args: [| a |] *)
+  | Phi  (** one arg per predecessor, in predecessor order *)
+  | Load of Ident.t  (** scalar load; removed by SSA construction *)
+  | Store of Ident.t  (** scalar store; removed by SSA construction *)
+  | Aload of Ident.t  (** array load; args are the indices *)
+  | Astore of Ident.t  (** array store; args are indices @ [value] *)
+  | Rand  (** opaque boolean source backing '??' conditions *)
+
+type t = { id : Id.t; op : op; mutable args : value array }
+
+val value_equal : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+(** [op_name op] is the paper's mnemonic (AD, SB, MP, DV, EX, NG, PH,
+    LD, ST, ...). *)
+val op_name : op -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [is_pure op] holds when the instruction has no side effect and may be
+    deleted if unused. *)
+val is_pure : op -> bool

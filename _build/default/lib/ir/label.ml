@@ -1,0 +1,12 @@
+(* Basic-block labels: dense integers so block-indexed tables are arrays. *)
+
+type t = int
+
+let compare = Stdlib.compare
+let equal (a : t) b = a = b
+let hash (t : t) = t
+let to_string t = "B" ^ string_of_int t
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

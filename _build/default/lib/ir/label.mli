@@ -1,0 +1,13 @@
+(** Basic-block labels: dense integers, so block-indexed side tables can
+    be plain arrays. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = int
+module Set : Set.S with type elt = int

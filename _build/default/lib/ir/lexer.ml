@@ -1,0 +1,190 @@
+(* Hand-written lexer for the loop language (no menhir/ocamllex in the
+   sealed environment). Tracks line/column for error reporting. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_LOOP
+  | KW_ENDLOOP
+  | KW_FOR
+  | KW_TO
+  | KW_BY
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_ENDIF
+  | KW_EXIT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | ASSIGN (* = *)
+  | EQ (* == *)
+  | NE (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | UNKNOWN_COND (* ?? *)
+  | EOF
+
+type pos = { line : int; col : int }
+
+type located = { token : token; pos : pos }
+
+exception Lex_error of string * pos
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_LOOP -> "loop"
+  | KW_ENDLOOP -> "endloop"
+  | KW_FOR -> "for"
+  | KW_TO -> "to"
+  | KW_BY -> "by"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_ENDIF -> "endif"
+  | KW_EXIT -> "exit"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CARET -> "^"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | UNKNOWN_COND -> "??"
+  | EOF -> "<eof>"
+
+let keyword_of_string = function
+  | "loop" -> Some KW_LOOP
+  | "endloop" -> Some KW_ENDLOOP
+  | "for" -> Some KW_FOR
+  | "to" -> Some KW_TO
+  | "by" -> Some KW_BY
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "endif" -> Some KW_ENDIF
+  | "exit" -> Some KW_EXIT
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* [tokenize src] is the token list for [src], each with its position.
+   Comments run from '#' (or "//") to end of line. *)
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let tokens = ref [] in
+  let here () = { line = !line; col = !col } in
+  let advance () =
+    if !i < n && src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let emit token pos = tokens := { token; pos } :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = here () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' || (c = '/' && !i + 1 < n && src.[!i + 1] = '/') then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (INT v) pos
+      | None -> raise (Lex_error ("integer literal too large: " ^ text, pos))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword_of_string (String.lowercase_ascii text) with
+      | Some kw -> emit kw pos
+      | None -> emit (IDENT text) pos
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "==" ->
+        advance ();
+        advance ();
+        emit EQ pos
+      | Some "!=" | Some "<>" ->
+        advance ();
+        advance ();
+        emit NE pos
+      | Some "<=" ->
+        advance ();
+        advance ();
+        emit LE pos
+      | Some ">=" ->
+        advance ();
+        advance ();
+        emit GE pos
+      | Some "??" ->
+        advance ();
+        advance ();
+        emit UNKNOWN_COND pos
+      | _ ->
+        let simple =
+          match c with
+          | '+' -> Some PLUS
+          | '-' -> Some MINUS
+          | '*' -> Some STAR
+          | '/' -> Some SLASH
+          | '^' -> Some CARET
+          | '(' -> Some LPAREN
+          | ')' -> Some RPAREN
+          | ',' -> Some COMMA
+          | ':' -> Some COLON
+          | '=' -> Some ASSIGN
+          | '<' -> Some LT
+          | '>' -> Some GT
+          | _ -> None
+        in
+        (match simple with
+         | Some t ->
+           advance ();
+           emit t pos
+         | None ->
+           raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos)))
+    end
+  done;
+  emit EOF (here ());
+  List.rev !tokens

@@ -1,0 +1,48 @@
+(** Hand-written lexer for the loop language.
+
+    Comments run from ['#'] or ["//"] to end of line; keywords are
+    case-insensitive; ["<>"] is accepted as a synonym for ["!="]. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_LOOP
+  | KW_ENDLOOP
+  | KW_FOR
+  | KW_TO
+  | KW_BY
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_ENDIF
+  | KW_EXIT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NE  (** [!=] or [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | UNKNOWN_COND  (** [??] *)
+  | EOF
+
+type pos = { line : int; col : int }
+
+type located = { token : token; pos : pos }
+
+exception Lex_error of string * pos
+
+val token_to_string : token -> string
+
+(** [tokenize src] is the token stream, ending with [EOF].
+    @raise Lex_error on malformed input. *)
+val tokenize : string -> located list

@@ -1,0 +1,70 @@
+(* Operator vocabulary shared by the surface AST and the tuple IR.
+
+   The set matches the paper's Figure 2 table: AD, SB, MP, DV, EX, NG,
+   plus the comparisons used by loop-exit conditions. *)
+
+type binop = Add | Sub | Mul | Div | Exp
+
+type relop = Lt | Le | Gt | Ge | Eq | Ne
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Exp -> "^"
+
+let relop_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+(* [negate_relop r] is the relation that holds exactly when [r] does not:
+   used to normalize loop-exit conditions (paper §5.2 table). *)
+let negate_relop = function
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Eq -> Ne
+  | Ne -> Eq
+
+(* [swap_relop r] is the relation with its operands exchanged. *)
+let swap_relop = function
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Eq -> Eq
+  | Ne -> Ne
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise Division_by_zero else a / b
+  | Exp ->
+    if b < 0 then 0
+    else begin
+      let rec go acc a b =
+        if b = 0 then acc
+        else go (if b land 1 = 1 then acc * a else acc) (a * a) (b lsr 1)
+      in
+      go 1 a b
+    end
+
+let eval_relop op a b =
+  match op with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let pp_binop fmt op = Format.pp_print_string fmt (binop_to_string op)
+let pp_relop fmt op = Format.pp_print_string fmt (relop_to_string op)

@@ -1,0 +1,26 @@
+(** Operator vocabulary shared by the surface AST and the tuple IR — the
+    paper's Figure 2 table (AD, SB, MP, DV, EX, NG) plus the comparisons
+    used by loop-exit conditions. *)
+
+type binop = Add | Sub | Mul | Div | Exp
+
+type relop = Lt | Le | Gt | Ge | Eq | Ne
+
+val binop_to_string : binop -> string
+val relop_to_string : relop -> string
+
+(** [negate_relop r] holds exactly when [r] does not (used to normalize
+    loop-exit conditions, paper §5.2). *)
+val negate_relop : relop -> relop
+
+(** [swap_relop r] is the relation with operands exchanged. *)
+val swap_relop : relop -> relop
+
+(** Integer semantics: [Div] truncates toward zero and raises
+    [Division_by_zero] on zero; [Exp] with a negative exponent is 0. *)
+val eval_binop : binop -> int -> int -> int
+
+val eval_relop : relop -> int -> int -> bool
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_relop : Format.formatter -> relop -> unit

@@ -1,0 +1,298 @@
+(* Recursive-descent parser for the loop language.
+
+   Grammar (labels on loops are optional; unlabeled loops get L1, L2, ...
+   in source order):
+
+     program  ::= stmt*
+     stmt     ::= [IDENT ':'] loopstmt | simple
+     loopstmt ::= 'loop' stmt* 'endloop'
+               |  'for' IDENT '=' expr 'to' expr ['by' ['-'] INT] 'loop'
+                    stmt* 'endloop'
+     simple   ::= IDENT '=' expr
+               |  IDENT '(' exprs ')' '=' expr
+               |  'if' cond 'then' stmt* ['else' stmt*] 'endif'
+               |  'if' cond 'exit'
+               |  'exit'
+     cond     ::= expr relop expr | '??'
+     expr     ::= term (('+'|'-') term)*
+     term     ::= unary (('*'|'/') unary)*
+     unary    ::= '-' unary | power
+     power    ::= atom ['^' unary]
+     atom     ::= INT | IDENT | IDENT '(' exprs ')' | '(' expr ')' *)
+
+exception Parse_error of string * Lexer.pos
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.token = Lexer.EOF; pos = { line = 0; col = 0 } }
+  | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let error st msg = raise (Parse_error (msg, (peek st).pos))
+
+let expect st token =
+  let t = peek st in
+  if t.token = token then advance st
+  else
+    error st
+      (Printf.sprintf "expected '%s' but found '%s'"
+         (Lexer.token_to_string token)
+         (Lexer.token_to_string t.token))
+
+let expect_ident st =
+  match (peek st).token with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st (Printf.sprintf "expected identifier, found '%s'" (Lexer.token_to_string t))
+
+let fresh_label =
+  let make counter () =
+    incr counter;
+    "L" ^ string_of_int !counter
+  in
+  make
+
+let rec parse_expr st =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match (peek st).token with
+  | Lexer.PLUS ->
+    advance st;
+    let rhs = parse_term st in
+    parse_expr_rest st (Ast.Binop (Ops.Add, lhs, rhs))
+  | Lexer.MINUS ->
+    advance st;
+    let rhs = parse_term st in
+    parse_expr_rest st (Ast.Binop (Ops.Sub, lhs, rhs))
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_unary st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match (peek st).token with
+  | Lexer.STAR ->
+    advance st;
+    let rhs = parse_unary st in
+    parse_term_rest st (Ast.Binop (Ops.Mul, lhs, rhs))
+  | Lexer.SLASH ->
+    advance st;
+    let rhs = parse_unary st in
+    parse_term_rest st (Ast.Binop (Ops.Div, lhs, rhs))
+  | _ -> lhs
+
+and parse_unary st =
+  match (peek st).token with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Neg (parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_atom st in
+  match (peek st).token with
+  | Lexer.CARET ->
+    advance st;
+    let e = parse_unary st in
+    Ast.Binop (Ops.Exp, base, e)
+  | _ -> base
+
+and parse_atom st =
+  match (peek st).token with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Int n
+  | Lexer.IDENT name ->
+    advance st;
+    (match (peek st).token with
+     | Lexer.LPAREN ->
+       advance st;
+       let idx = parse_exprs st in
+       expect st Lexer.RPAREN;
+       Ast.Aref (Ident.of_string name, idx)
+     | _ -> Ast.Var (Ident.of_string name))
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | t -> error st (Printf.sprintf "expected expression, found '%s'" (Lexer.token_to_string t))
+
+and parse_exprs st =
+  let first = parse_expr st in
+  match (peek st).token with
+  | Lexer.COMMA ->
+    advance st;
+    first :: parse_exprs st
+  | _ -> [ first ]
+
+let parse_cond st =
+  match (peek st).token with
+  | Lexer.UNKNOWN_COND ->
+    advance st;
+    Ast.Unknown
+  | _ ->
+    let lhs = parse_expr st in
+    let op =
+      match (peek st).token with
+      | Lexer.LT -> Ops.Lt
+      | Lexer.LE -> Ops.Le
+      | Lexer.GT -> Ops.Gt
+      | Lexer.GE -> Ops.Ge
+      | Lexer.EQ -> Ops.Eq
+      | Lexer.NE -> Ops.Ne
+      | t ->
+        error st
+          (Printf.sprintf "expected comparison operator, found '%s'"
+             (Lexer.token_to_string t))
+    in
+    advance st;
+    let rhs = parse_expr st in
+    Ast.Cmp (op, lhs, rhs)
+
+(* Statements that end a statement list. *)
+let ends_block = function
+  | Lexer.KW_ENDLOOP | Lexer.KW_ENDIF | Lexer.KW_ELSE | Lexer.EOF -> true
+  | _ -> false
+
+let always_true = Ast.Cmp (Ops.Eq, Ast.Int 0, Ast.Int 0)
+
+let rec parse_stmts st next_label =
+  if ends_block (peek st).token then []
+  else begin
+    let s = parse_stmt st next_label in
+    s :: parse_stmts st next_label
+  end
+
+and parse_stmt st next_label =
+  match (peek st).token with
+  | Lexer.IDENT name -> begin
+    advance st;
+    match (peek st).token with
+    | Lexer.COLON ->
+      (* A loop label: "L7: loop ..." or "L9: for ...". *)
+      advance st;
+      parse_labeled_loop st next_label (Some name)
+    | Lexer.ASSIGN ->
+      advance st;
+      let e = parse_expr st in
+      Ast.Assign (Ident.of_string name, e)
+    | Lexer.LPAREN ->
+      advance st;
+      let idx = parse_exprs st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.ASSIGN;
+      let e = parse_expr st in
+      Ast.Astore (Ident.of_string name, idx, e)
+    | t ->
+      error st
+        (Printf.sprintf "expected ':', '=' or '(' after identifier, found '%s'"
+           (Lexer.token_to_string t))
+  end
+  | Lexer.KW_LOOP | Lexer.KW_FOR -> parse_labeled_loop st next_label None
+  | Lexer.KW_IF -> begin
+    advance st;
+    let c = parse_cond st in
+    match (peek st).token with
+    | Lexer.KW_EXIT ->
+      advance st;
+      Ast.Exit_if c
+    | Lexer.KW_THEN ->
+      advance st;
+      let then_branch = parse_stmts st next_label in
+      let else_branch =
+        match (peek st).token with
+        | Lexer.KW_ELSE ->
+          advance st;
+          parse_stmts st next_label
+        | _ -> []
+      in
+      expect st Lexer.KW_ENDIF;
+      Ast.If (c, then_branch, else_branch)
+    | t ->
+      error st
+        (Printf.sprintf "expected 'then' or 'exit' after condition, found '%s'"
+           (Lexer.token_to_string t))
+  end
+  | Lexer.KW_EXIT ->
+    advance st;
+    Ast.Exit_if always_true
+  | t -> error st (Printf.sprintf "expected statement, found '%s'" (Lexer.token_to_string t))
+
+and parse_labeled_loop st next_label label =
+  let name = match label with Some n -> n | None -> next_label () in
+  match (peek st).token with
+  | Lexer.KW_LOOP ->
+    advance st;
+    let body = parse_stmts st next_label in
+    expect st Lexer.KW_ENDLOOP;
+    Ast.Loop (name, body)
+  | Lexer.KW_FOR ->
+    advance st;
+    let var = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let lo = parse_expr st in
+    expect st Lexer.KW_TO;
+    let hi = parse_expr st in
+    let step =
+      match (peek st).token with
+      | Lexer.KW_BY -> begin
+        advance st;
+        let sign =
+          match (peek st).token with
+          | Lexer.MINUS ->
+            advance st;
+            -1
+          | _ -> 1
+        in
+        match (peek st).token with
+        | Lexer.INT n when n <> 0 ->
+          advance st;
+          sign * n
+        | Lexer.INT _ -> error st "loop step must be non-zero"
+        | t ->
+          error st
+            (Printf.sprintf "expected integer step, found '%s'"
+               (Lexer.token_to_string t))
+      end
+      | _ -> 1
+    in
+    expect st Lexer.KW_LOOP;
+    let body = parse_stmts st next_label in
+    expect st Lexer.KW_ENDLOOP;
+    Ast.For { name; var = Ident.of_string var; lo; hi; step; body }
+  | t ->
+    error st
+      (Printf.sprintf "expected 'loop' or 'for' after label, found '%s'"
+         (Lexer.token_to_string t))
+
+(* [parse src] parses a whole program.
+   @raise Lexer.Lex_error or Parse_error on malformed input. *)
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let counter = ref 0 in
+  let next_label = fresh_label counter in
+  let stmts = parse_stmts st next_label in
+  expect st Lexer.EOF;
+  { Ast.stmts }
+
+let parse_exn = parse
+
+(* [parse_result src] is a [result]-returning variant for CLI use. *)
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "%d:%d: lexical error: %s" pos.line pos.col msg)
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "%d:%d: parse error: %s" pos.line pos.col msg)

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the loop language (grammar in the
+    implementation header and README.md). Unlabelled loops receive fresh
+    labels L1, L2, ... in source order. *)
+
+exception Parse_error of string * Lexer.pos
+
+(** [parse src] parses a whole program.
+    @raise Lexer.Lex_error on lexical errors.
+    @raise Parse_error on syntax errors. *)
+val parse : string -> Ast.program
+
+val parse_exn : string -> Ast.program
+
+(** [parse_result src] is the error-message-producing variant. *)
+val parse_result : string -> (Ast.program, string) result

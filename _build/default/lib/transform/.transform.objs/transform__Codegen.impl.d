@@ -1,0 +1,1 @@
+lib/transform/codegen.ml: Analysis Array Bignum Ir List Option Rat

@@ -1,0 +1,1 @@
+lib/transform/dce.ml: Array Ir List Queue

@@ -1,0 +1,1 @@
+lib/transform/exit_values.ml: Analysis Array Codegen Ir List

@@ -1,0 +1,1 @@
+lib/transform/exit_values.mli: Analysis Ir

@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Analysis Dependence Ir List Option String

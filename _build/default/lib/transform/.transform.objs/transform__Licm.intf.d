@@ -1,0 +1,1 @@
+lib/transform/licm.mli: Analysis Ir

@@ -1,0 +1,1 @@
+lib/transform/normalize.mli: Ir

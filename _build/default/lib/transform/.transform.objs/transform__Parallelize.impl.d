@@ -1,0 +1,1 @@
+lib/transform/parallelize.ml: Analysis Buffer Dependence Ir List Printf

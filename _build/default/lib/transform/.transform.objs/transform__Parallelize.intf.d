@@ -1,0 +1,1 @@
+lib/transform/parallelize.mli: Analysis Dependence Ir

@@ -1,0 +1,1 @@
+lib/transform/peel.ml: Ir List String

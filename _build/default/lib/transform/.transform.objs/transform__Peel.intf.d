@@ -1,0 +1,1 @@
+lib/transform/peel.mli: Ir

@@ -1,0 +1,1 @@
+lib/transform/strength_reduction.ml: Analysis Array Codegen Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/transform/unimodular.ml: Array Dependence Format List Option String

@@ -1,0 +1,1 @@
+lib/transform/unimodular.mli: Dependence Format

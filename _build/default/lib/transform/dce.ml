@@ -1,0 +1,53 @@
+(* Dead code elimination on the SSA-form CFG: mark-and-sweep from the
+   observable roots (array stores, branch conditions, the random source,
+   whose consumption order is observable through '??').
+
+   Used after strength reduction to sweep the replaced multiplies' now
+   dead operand chains, and as a standalone pass. *)
+
+let is_root (i : Ir.Instr.t) =
+  match i.Ir.Instr.op with
+  | Ir.Instr.Astore _ | Ir.Instr.Rand -> true
+  | _ -> false
+
+(* [run cfg] deletes unused pure instructions; returns how many. *)
+let run (cfg : Ir.Cfg.t) : int =
+  let live : unit Ir.Instr.Id.Table.t = Ir.Instr.Id.Table.create 256 in
+  let work : Ir.Instr.t Queue.t = Queue.create () in
+  let mark_value (v : Ir.Instr.value) =
+    match v with
+    | Ir.Instr.Def d when not (Ir.Instr.Id.Table.mem live d) -> (
+      match Ir.Cfg.find_instr_opt cfg d with
+      | Some instr ->
+        Ir.Instr.Id.Table.replace live d ();
+        Queue.push instr work
+      | None -> ())
+    | _ -> ()
+  in
+  Ir.Cfg.iter_instrs cfg (fun _ i ->
+      if is_root i then begin
+        Ir.Instr.Id.Table.replace live i.Ir.Instr.id ();
+        Queue.push i work
+      end);
+  List.iter
+    (fun l ->
+      match (Ir.Cfg.block cfg l).Ir.Cfg.term with
+      | Ir.Cfg.Branch (v, _, _) -> mark_value v
+      | Ir.Cfg.Jump _ | Ir.Cfg.Halt -> ())
+    (Ir.Cfg.labels cfg);
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    Array.iter mark_value i.Ir.Instr.args
+  done;
+  let removed = ref 0 in
+  List.iter
+    (fun l ->
+      Ir.Cfg.replace_instrs cfg l (fun instrs ->
+          List.filter
+            (fun (i : Ir.Instr.t) ->
+              let keep = Ir.Instr.Id.Table.mem live i.Ir.Instr.id in
+              if not keep then incr removed;
+              keep)
+            instrs))
+    (Ir.Cfg.labels cfg);
+  !removed

@@ -1,0 +1,6 @@
+(** Dead code elimination on the SSA-form CFG: mark-and-sweep from the
+    observable roots (array stores, the random source, branch
+    conditions). *)
+
+(** [run cfg] deletes unused pure instructions; returns how many. *)
+val run : Ir.Cfg.t -> int

@@ -1,0 +1,79 @@
+(* Loop interchange for perfect 2-deep nests, with legality decided by
+   the dependence graph (paper §6.1: the triangular example's
+   iteration-space distance (1, -1) is exactly what makes interchange
+   illegal there, while the rectangular variant's (1, 0) permits it). *)
+
+module Deptest = Dependence.Deptest
+module Dep_graph = Dependence.Dep_graph
+module Driver = Analysis.Driver
+
+(* A dependence direction vector (outer, inner) blocks interchange when
+   it is (<, >): swapping would make the sink run before the source. *)
+let edge_blocks_interchange ~outer ~inner (e : Dep_graph.edge) =
+  match e.Dep_graph.outcome with
+  | Deptest.Independent -> false
+  | Deptest.Dependent d -> (
+    (* Exact distances decide precisely. *)
+    match d.Deptest.distance with
+    | Some dists when List.mem_assoc outer dists && List.mem_assoc inner dists ->
+      List.assoc outer dists > 0 && List.assoc inner dists < 0
+    | _ -> (
+      (* Fall back to the direction sets (conservative: a possible (<,>)
+         combination blocks). *)
+      let dir l =
+        Option.value ~default:Deptest.all_dirs (List.assoc_opt l d.Deptest.directions)
+      in
+      ((dir outer).Deptest.lt && (dir inner).Deptest.gt)))
+
+(* [legal t edges ~outer ~inner] decides interchange legality for the
+   loop pair from an already-built dependence graph. *)
+let legal (edges : Dep_graph.edge list) ~outer ~inner =
+  not (List.exists (edge_blocks_interchange ~outer ~inner) edges)
+
+(* [apply p ~outer_name] swaps the named perfect nest in the AST.
+   @raise Invalid_argument if the nest is not perfect or its bounds are
+   not independent of each other's index. *)
+let apply (p : Ir.Ast.program) ~outer_name : Ir.Ast.program =
+  let rec uses_var var (e : Ir.Ast.expr) =
+    match e with
+    | Ir.Ast.Int _ -> false
+    | Ir.Ast.Var x -> Ir.Ident.equal x var
+    | Ir.Ast.Aref (_, idx) -> List.exists (uses_var var) idx
+    | Ir.Ast.Binop (_, a, b) -> uses_var var a || uses_var var b
+    | Ir.Ast.Neg a -> uses_var var a
+  in
+  let rec stmt (s : Ir.Ast.stmt) : Ir.Ast.stmt =
+    match s with
+    | Ir.Ast.For ({ name; body = [ Ir.Ast.For inner ]; _ } as outer)
+      when String.equal name outer_name ->
+      if
+        uses_var outer.Ir.Ast.var inner.Ir.Ast.lo
+        || uses_var outer.Ir.Ast.var inner.Ir.Ast.hi
+      then
+        invalid_arg
+          "Interchange.apply: inner bounds depend on the outer index (skew first)";
+      Ir.Ast.For
+        {
+          inner with
+          Ir.Ast.body =
+            [ Ir.Ast.For { outer with Ir.Ast.body = inner.Ir.Ast.body } ];
+        }
+    | Ir.Ast.For f -> Ir.Ast.For { f with Ir.Ast.body = List.map stmt f.Ir.Ast.body }
+    | Ir.Ast.Loop (n, body) -> Ir.Ast.Loop (n, List.map stmt body)
+    | Ir.Ast.If (c, t, e) -> Ir.Ast.If (c, List.map stmt t, List.map stmt e)
+    | Ir.Ast.Assign _ | Ir.Ast.Astore _ | Ir.Ast.Exit_if _ -> s
+  in
+  { Ir.Ast.stmts = List.map stmt p.Ir.Ast.stmts }
+
+(* [legal_for_program src ~outer_name ~inner_name] is the whole check:
+   analyze, build the dependence graph, decide. *)
+let legal_for_source src ~outer_name ~inner_name =
+  let t = Driver.analyze_source src in
+  let loops = Ir.Ssa.loops (Driver.ssa t) in
+  match
+    (Ir.Loops.find_by_name loops outer_name, Ir.Loops.find_by_name loops inner_name)
+  with
+  | Some o, Some i ->
+    let edges = Dep_graph.build t in
+    Some (legal edges ~outer:o.Ir.Loops.id ~inner:i.Ir.Loops.id)
+  | _ -> None

@@ -1,0 +1,84 @@
+(* Loop-invariant code motion, driven by the classification: an
+   instruction whose class is [Invariant] computes the same value on
+   every iteration, so if it is pure, safe to speculate, and its operands
+   are available at the preheader, it can be hoisted there.
+
+   Safety notes:
+     - division is not hoisted (a guard may be protecting a zero
+       divisor);
+     - array loads are not hoisted (stores in the loop may change them;
+       the classifier already reports them Unknown);
+     - operand availability is checked by requiring every [Def] operand
+       to be defined outside the loop or hoisted by this same pass. *)
+
+module Ivclass = Analysis.Ivclass
+module Driver = Analysis.Driver
+
+let hoistable_op (op : Ir.Instr.op) =
+  match op with
+  | Ir.Instr.Binop (Ir.Ops.Add | Ir.Ops.Sub | Ir.Ops.Mul) | Ir.Instr.Neg
+  | Ir.Instr.Relop _ ->
+    true
+  | Ir.Instr.Binop (Ir.Ops.Div | Ir.Ops.Exp)
+  | Ir.Instr.Phi | Ir.Instr.Aload _ | Ir.Instr.Astore _ | Ir.Instr.Rand
+  | Ir.Instr.Load _ | Ir.Instr.Store _ ->
+    false
+
+let preheader_of cfg (loop : Ir.Loops.loop) =
+  let preds = Ir.Cfg.predecessors cfg loop.Ir.Loops.header in
+  match List.filter (fun p -> not (Ir.Label.Set.mem p loop.Ir.Loops.blocks)) preds with
+  | [ p ] -> Some p
+  | _ -> None
+
+(* [hoist_loop t loop_id] moves invariant instructions of one loop to its
+   preheader; returns the hoisted instruction ids. *)
+let hoist_loop (t : Driver.t) loop_id : Ir.Instr.Id.t list =
+  let ssa = Driver.ssa t in
+  let cfg = Ir.Ssa.cfg ssa in
+  let loop = Ir.Loops.loop (Ir.Ssa.loops ssa) loop_id in
+  match (Driver.loop_result t loop_id, preheader_of cfg loop) with
+  | Some r, Some preheader ->
+    let hoisted : unit Ir.Instr.Id.Table.t = Ir.Instr.Id.Table.create 8 in
+    let available (v : Ir.Instr.value) =
+      match v with
+      | Ir.Instr.Const _ | Ir.Instr.Param _ -> true
+      | Ir.Instr.Def d ->
+        Ir.Instr.Id.Table.mem hoisted d
+        || not (Ir.Label.Set.mem (Ir.Cfg.block_of_instr cfg d) loop.Ir.Loops.blocks)
+    in
+    let moved = ref [] in
+    (* Process in program order so operand chains hoist together. *)
+    List.iter
+      (fun (instr : Ir.Instr.t) ->
+        let invariant =
+          match Ir.Instr.Id.Table.find_opt r.Driver.table instr.Ir.Instr.id with
+          | Some (Ivclass.Invariant _) -> true
+          | _ -> false
+        in
+        if
+          invariant
+          && hoistable_op instr.Ir.Instr.op
+          && Array.for_all available instr.Ir.Instr.args
+        then begin
+          (* Remove from its block, append to the preheader. *)
+          let from_block = Ir.Cfg.block_of_instr cfg instr.Ir.Instr.id in
+          Ir.Cfg.replace_instrs cfg from_block (fun instrs ->
+              List.filter
+                (fun (i : Ir.Instr.t) ->
+                  not (Ir.Instr.Id.equal i.Ir.Instr.id instr.Ir.Instr.id))
+                instrs);
+          Ir.Cfg.replace_instrs cfg preheader (fun instrs -> instrs @ [ instr ]);
+          Ir.Instr.Id.Table.replace hoisted instr.Ir.Instr.id ();
+          moved := instr.Ir.Instr.id :: !moved
+        end)
+      (Analysis.Ssa_graph.nodes r.Driver.graph);
+    List.rev !moved
+  | _ -> []
+
+(* [hoist t] hoists in every loop, innermost first (so inner-hoisted code
+   can cascade out of enclosing loops on a re-analysis). *)
+let hoist (t : Driver.t) : Ir.Instr.Id.t list =
+  let loops = Ir.Ssa.loops (Driver.ssa t) in
+  List.concat_map
+    (fun (lp : Ir.Loops.loop) -> hoist_loop t lp.Ir.Loops.id)
+    (Ir.Loops.postorder loops)

@@ -1,0 +1,8 @@
+(** Loop normalization (paper §6.1): rewrite every 'for' loop to run from
+    0 with step 1, substituting i := i'·step + lo in the body. Provided to
+    reproduce the paper's L23/L24 distance-vector discussion; the SSA
+    classification itself is insensitive to the loop's textual shape. *)
+
+(** [normalize p] rewrites all 'for' loops.
+    @raise Invalid_argument when a body assigns its own index. *)
+val normalize : Ir.Ast.program -> Ir.Ast.program

@@ -1,0 +1,48 @@
+(* Parallelization/vectorization legality from the dependence graph: a
+   loop can run its iterations in parallel when no dependence is carried
+   by it — the optimization the paper's dependence translations unlock
+   (e.g. the relaxation sweep of §4.2 once '=' is disproved on the plane
+   subscripts, and the pack loop of §4.4 once the write subscript is
+   strictly monotonic). *)
+
+module Deptest = Dependence.Deptest
+module Dep_graph = Dependence.Dep_graph
+module Driver = Analysis.Driver
+
+(* A dependence is carried by loop [l] when source and sink can be in
+   different iterations of [l] (direction < or > feasible). *)
+let edge_carried_by l (e : Dep_graph.edge) =
+  match e.Dep_graph.outcome with
+  | Deptest.Independent -> false
+  | Deptest.Dependent d -> (
+    match List.assoc_opt l d.Deptest.directions with
+    | Some ds -> ds.Deptest.lt || ds.Deptest.gt
+    | None ->
+      (* The loop does not enclose both references: not carried by it. *)
+      false)
+
+(* [carried_edges t edges l] lists the dependences preventing loop [l]
+   from running in parallel. *)
+let carried_edges (edges : Dep_graph.edge list) l =
+  List.filter (edge_carried_by l) edges
+
+(* [parallel_loops t] analyzes the program and returns, for every loop,
+   whether its iterations are independent. *)
+let parallel_loops (t : Driver.t) : (Ir.Loops.loop * bool) list =
+  let edges = Dep_graph.build t in
+  let loops = Ir.Ssa.loops (Driver.ssa t) in
+  List.map
+    (fun (lp : Ir.Loops.loop) ->
+      (lp, carried_edges edges lp.Ir.Loops.id = []))
+    (Ir.Loops.postorder loops)
+
+let report t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ((lp : Ir.Loops.loop), ok) ->
+      Buffer.add_string buf
+        (Printf.sprintf "loop %s: %s\n" lp.Ir.Loops.name
+           (if ok then "parallelizable (no carried dependences)"
+            else "serial (carried dependences)")))
+    (parallel_loops t);
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Parallelization legality from the dependence graph: a loop's
+    iterations are independent (w.r.t. array traffic) when no dependence
+    is carried by it — the optimization the paper's dependence
+    translations unlock (§4.2 relaxation sweeps, §4.4 pack loops). Scalar
+    reductions are outside this check's scope. *)
+
+val edge_carried_by : int -> Dependence.Dep_graph.edge -> bool
+
+(** [carried_edges edges l] lists the dependences keeping loop [l]
+    serial. *)
+val carried_edges :
+  Dependence.Dep_graph.edge list -> int -> Dependence.Dep_graph.edge list
+
+(** [parallel_loops t] decides for every loop of the program. *)
+val parallel_loops : Analysis.Driver.t -> (Ir.Loops.loop * bool) list
+
+val report : Analysis.Driver.t -> string

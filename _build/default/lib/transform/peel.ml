@@ -1,0 +1,71 @@
+(* First-iteration loop peeling (paper §4.1): "the standard compiler
+   trick, once a wrap-around variable is found, is to peel off the first
+   iteration of the loop and replace the wrap-around variable with the
+   appropriate induction variable."
+
+   After peeling, the wrap-around variable's initial value matches the
+   carried sequence, so re-running the classifier promotes it to a plain
+   induction variable — the promotion rule of Classify.classify_wraparound
+   fires. The tests check exactly that, plus semantic equivalence via the
+   reference interpreter. *)
+
+let always = Ir.Ast.Cmp (Ir.Ops.Eq, Ir.Ast.Int 0, Ir.Ast.Int 0)
+
+(* [peel_loop name body] peels one iteration off "loop name body".
+
+   The peeled copy runs inside a wrapper loop that exits unconditionally
+   after the remaining loop finishes, so that 'exit's in the peeled first
+   iteration leave the whole construct (skipping the remaining loop), and
+   'exit's in later iterations leave the inner loop and then the wrapper:
+
+     loop name_peel
+       <body>            (first iteration; its exits skip everything)
+       loop name <body> endloop
+       exit
+     endloop *)
+let peel_loop name body =
+  Ir.Ast.Loop
+    (name ^ "_peel", body @ [ Ir.Ast.Loop (name, body); Ir.Ast.Exit_if always ])
+
+(* [peel_for f] peels the first iteration of a 'for' loop:
+
+     i = lo
+     if i <= hi then      (or >= for negative step)
+       <body>
+       for i = lo+step to hi loop <body> endloop
+     endif *)
+let peel_for (f : Ir.Ast.for_loop) : Ir.Ast.stmt list =
+  let enter_op = if f.Ir.Ast.step > 0 then Ir.Ops.Le else Ir.Ops.Ge in
+  [
+    Ir.Ast.Assign (f.Ir.Ast.var, f.Ir.Ast.lo);
+    Ir.Ast.If
+      ( Ir.Ast.Cmp (enter_op, Ir.Ast.Var f.Ir.Ast.var, f.Ir.Ast.hi),
+        f.Ir.Ast.body
+        @ [
+            Ir.Ast.For
+              {
+                f with
+                Ir.Ast.lo =
+                  Ir.Ast.Binop (Ir.Ops.Add, f.Ir.Ast.lo, Ir.Ast.Int f.Ir.Ast.step);
+              };
+          ],
+        [] );
+  ]
+
+(* [peel_named name p] peels the first iteration of the loop labelled
+   [name] wherever it occurs in the program. *)
+let peel_named name (p : Ir.Ast.program) : Ir.Ast.program =
+  let rec stmt (s : Ir.Ast.stmt) : Ir.Ast.stmt list =
+    match s with
+    | Ir.Ast.Loop (n, body) when String.equal n name ->
+      [ peel_loop n (List.concat_map stmt body) ]
+    | Ir.Ast.Loop (n, body) -> [ Ir.Ast.Loop (n, List.concat_map stmt body) ]
+    | Ir.Ast.For f when String.equal f.Ir.Ast.name name ->
+      peel_for { f with Ir.Ast.body = List.concat_map stmt f.Ir.Ast.body }
+    | Ir.Ast.For f ->
+      [ Ir.Ast.For { f with Ir.Ast.body = List.concat_map stmt f.Ir.Ast.body } ]
+    | Ir.Ast.If (c, t, e) ->
+      [ Ir.Ast.If (c, List.concat_map stmt t, List.concat_map stmt e) ]
+    | Ir.Ast.Assign _ | Ir.Ast.Astore _ | Ir.Ast.Exit_if _ -> [ s ]
+  in
+  { Ir.Ast.stmts = List.concat_map stmt p.Ir.Ast.stmts }

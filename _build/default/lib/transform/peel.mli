@@ -1,0 +1,15 @@
+(** First-iteration loop peeling (paper §4.1): the "standard compiler
+    trick" that turns a wrap-around variable into a plain induction
+    variable — after peeling, the classifier's promotion rule fires. *)
+
+(** [peel_loop name body] peels one iteration off an infinite loop (the
+    peeled copy's exits skip the remaining loop). *)
+val peel_loop : string -> Ir.Ast.stmt list -> Ir.Ast.stmt
+
+(** [peel_for f] peels the first iteration of a 'for' loop (guarded by
+    the entry condition). *)
+val peel_for : Ir.Ast.for_loop -> Ir.Ast.stmt list
+
+(** [peel_named name p] peels the loop labelled [name] wherever it
+    occurs. *)
+val peel_named : string -> Ir.Ast.program -> Ir.Ast.program

@@ -1,0 +1,1 @@
+test/gen.ml: Ir List Printf QCheck2

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Analysis Bignum Hashtbl Ir List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_affine.ml: Alcotest Analysis Dependence Helpers Ir

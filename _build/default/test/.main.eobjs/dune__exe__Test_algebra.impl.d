@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Analysis Bigint Bignum Helpers Ir List Option Rat

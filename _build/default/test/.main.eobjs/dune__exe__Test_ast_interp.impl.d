@@ -1,0 +1,1 @@
+test/test_ast_interp.ml: Alcotest Gen Hashtbl Helpers Ir List QCheck2 Random

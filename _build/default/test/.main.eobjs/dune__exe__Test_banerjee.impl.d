@@ -1,0 +1,1 @@
+test/test_banerjee.ml: Analysis Dependence Helpers List QCheck2

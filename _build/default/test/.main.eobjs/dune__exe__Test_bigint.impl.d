@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Bignum Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Hashtbl Helpers Ir List String

@@ -1,0 +1,1 @@
+test/test_closed_form.ml: Alcotest Analysis Array Bignum Helpers Ir List Printf QCheck2 Rat

@@ -1,0 +1,1 @@
+test/test_dep_oracle.ml: Alcotest Analysis Array Dependence Gen Hashtbl Helpers Ir List Printf QCheck2 Random String

@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Analysis Dependence Format Helpers Ir List Option

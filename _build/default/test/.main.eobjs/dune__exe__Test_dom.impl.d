@@ -1,0 +1,1 @@
+test/test_dom.ml: Alcotest Array Gen Helpers Ir List Printf

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Analysis Dependence Helpers Ir List String

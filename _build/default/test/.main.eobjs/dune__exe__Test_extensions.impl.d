@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Dependence Gen Hashtbl Helpers Ir List Option Random String Transform

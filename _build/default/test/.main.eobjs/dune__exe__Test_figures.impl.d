@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Analysis Bignum Helpers List Option

@@ -1,0 +1,1 @@
+test/test_ivclass.ml: Alcotest Analysis Bignum Helpers List Printf Rat

@@ -1,0 +1,1 @@
+test/test_lexer_parser.ml: Alcotest Helpers Ir List QCheck2 String

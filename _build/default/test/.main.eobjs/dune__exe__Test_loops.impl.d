@@ -1,0 +1,1 @@
+test/test_loops.ml: Alcotest Gen Helpers Ir List Option String

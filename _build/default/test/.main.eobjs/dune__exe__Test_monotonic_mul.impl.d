@@ -1,0 +1,1 @@
+test/test_monotonic_mul.ml: Alcotest Analysis Helpers List Option

@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Analysis Helpers Ir Option Printf

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Gen Hashtbl Helpers Ir List QCheck2 Random

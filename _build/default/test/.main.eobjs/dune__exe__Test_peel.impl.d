@@ -1,0 +1,1 @@
+test/test_peel.ml: Alcotest Analysis Gen Hashtbl Helpers Ir List Option Printf Random Transform

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Bignum Helpers QCheck2 Rat

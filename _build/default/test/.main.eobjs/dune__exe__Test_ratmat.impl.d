@@ -1,0 +1,1 @@
+test/test_ratmat.ml: Alcotest Array Bignum Helpers List Printf QCheck2 Rat Ratmat

@@ -1,0 +1,1 @@
+test/test_sccp.ml: Alcotest Analysis Helpers Ir

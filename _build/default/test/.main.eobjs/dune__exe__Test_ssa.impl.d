@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Analysis Array Gen Helpers Ir List Option QCheck2 String

@@ -1,0 +1,1 @@
+test/test_strength.ml: Alcotest Analysis Gen Hashtbl Helpers Ir List QCheck2 Random String Transform

@@ -1,0 +1,1 @@
+test/test_sym.ml: Alcotest Analysis Bignum Helpers Ir List QCheck2 Rat

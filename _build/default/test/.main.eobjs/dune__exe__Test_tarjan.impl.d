@@ -1,0 +1,1 @@
+test/test_tarjan.ml: Alcotest Analysis Array Fun Hashtbl Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Analysis Dependence Gen Hashtbl Helpers Ir List Option Random Transform

@@ -1,0 +1,1 @@
+test/test_trip_count.ml: Alcotest Analysis Helpers Ir Printf QCheck2

@@ -1,0 +1,38 @@
+(* Test runner: one alcotest binary aggregating every suite. *)
+
+let () =
+  Alcotest.run "beyond_iv"
+    [
+      Test_bigint.suite;
+      Test_rat.suite;
+      Test_ratmat.suite;
+      Test_sym.suite;
+      Test_lexer_parser.suite;
+      Test_cfg.suite;
+      Test_dom.suite;
+      Test_loops.suite;
+      Test_ssa.suite;
+      Test_interp.suite;
+      Test_tarjan.suite;
+      Test_sccp.suite;
+      Test_figures.suite;
+      Test_nested.suite;
+      Test_closed_form.suite;
+      Test_trip_count.suite;
+      Test_algebra.suite;
+      Test_oracle.suite;
+      Test_dependence.suite;
+      Test_normalize.suite;
+      Test_peel.suite;
+      Test_strength.suite;
+      Test_baseline.suite;
+      Test_ast_interp.suite;
+      Test_transforms.suite;
+      Test_ivclass.suite;
+      Test_driver.suite;
+      Test_affine.suite;
+      Test_extensions.suite;
+      Test_monotonic_mul.suite;
+      Test_banerjee.suite;
+      Test_dep_oracle.suite;
+    ]

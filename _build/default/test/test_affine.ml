@@ -1,0 +1,76 @@
+(* Affine subscript views: flattening multiloop classes, wrap shifting. *)
+
+module Affine = Dependence.Affine
+module Ivclass = Analysis.Ivclass
+module Sym = Analysis.Sym
+
+let s = Sym.of_int
+let lin loop base step = Ivclass.Linear { loop; base; step }
+
+let test_invariant () =
+  match Affine.of_class (Ivclass.Invariant (s 7)) with
+  | Some a ->
+    Alcotest.(check bool) "no terms" true (a.Affine.terms = []);
+    Alcotest.(check (option int)) "const" (Some 7) (Sym.const_int a.Affine.const)
+  | None -> Alcotest.fail "invariant should be affine"
+
+let test_simple_linear () =
+  match Affine.of_class (lin 3 (Ivclass.Invariant (s 5)) (s 2)) with
+  | Some a ->
+    Alcotest.(check (option int)) "coeff" (Some 2) (Sym.const_int (Affine.coeff a 3));
+    Alcotest.(check (option int)) "const" (Some 5) (Sym.const_int a.Affine.const);
+    Alcotest.(check (list int)) "loops" [ 3 ] (Affine.loops a)
+  | None -> Alcotest.fail "linear should be affine"
+
+let test_multiloop_flatten () =
+  (* (L1, (L0, 4, 10), 2): value = 4 + 10*h0 + 2*h1. *)
+  let nested = lin 1 (lin 0 (Ivclass.Invariant (s 4)) (s 10)) (s 2) in
+  match Affine.of_class nested with
+  | Some a ->
+    Alcotest.(check (option int)) "outer coeff" (Some 10) (Sym.const_int (Affine.coeff a 0));
+    Alcotest.(check (option int)) "inner coeff" (Some 2) (Sym.const_int (Affine.coeff a 1));
+    Alcotest.(check (option int)) "const" (Some 4) (Sym.const_int a.Affine.const);
+    Alcotest.(check (option int)) "absent loop" (Some 0) (Sym.const_int (Affine.coeff a 9))
+  | None -> Alcotest.fail "multiloop should flatten"
+
+let test_wrap_shift () =
+  (* wrap(order 1) of (L0, 0, 3): for h >= 1 the value is 3(h-1), i.e.
+     -3 + 3h, and the view records holds_after = 1. *)
+  let w = Ivclass.wrap 0 (lin 0 (Ivclass.Invariant (s 0)) (s 3)) (s 99) in
+  match Affine.of_class w with
+  | Some a ->
+    Alcotest.(check (option int)) "shifted const" (Some (-3)) (Sym.const_int a.Affine.const);
+    Alcotest.(check (option int)) "coeff" (Some 3) (Sym.const_int (Affine.coeff a 0));
+    Alcotest.(check int) "holds after" 1 a.Affine.holds_after
+  | None -> Alcotest.fail "wrap of linear should be affine"
+
+let test_non_affine () =
+  Alcotest.(check bool) "poly" true
+    (Affine.of_class (Ivclass.poly 0 [| s 0; s 0; s 1 |]) = None);
+  Alcotest.(check bool) "unknown" true (Affine.of_class Ivclass.Unknown = None);
+  Alcotest.(check bool) "monotonic" true
+    (Affine.of_class
+       (Ivclass.Monotonic { loop = 0; dir = Ivclass.Increasing; strict = false; family = 0 })
+     = None);
+  Alcotest.(check bool) "periodic" true
+    (Affine.of_class
+       (Ivclass.Periodic { loop = 0; period = 2; values = [| s 1; s 2 |]; phase = 0 })
+     = None)
+
+let test_symbolic_coeffs () =
+  let n = Sym.param (Ir.Ident.of_string "nn") in
+  match Affine.of_class (lin 0 (Ivclass.Invariant n) (s 1)) with
+  | Some a ->
+    Alcotest.(check bool) "symbolic const kept" true (Sym.equal a.Affine.const n)
+  | None -> Alcotest.fail "symbolic base is still affine"
+
+let suite =
+  ( "affine",
+    [
+      Helpers.case "invariant" test_invariant;
+      Helpers.case "simple linear" test_simple_linear;
+      Helpers.case "multiloop flattening" test_multiloop_flatten;
+      Helpers.case "wrap shifting" test_wrap_shift;
+      Helpers.case "non-affine classes" test_non_affine;
+      Helpers.case "symbolic coefficients" test_symbolic_coeffs;
+    ] )

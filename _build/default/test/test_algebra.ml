@@ -1,0 +1,140 @@
+(* The classification algebra (paper §5.1): operator combinations of
+   variable classes. *)
+
+module A = Analysis.Algebra
+module Ivclass = Analysis.Ivclass
+module Sym = Analysis.Sym
+open Bignum
+
+let s = Sym.of_int
+let inv n = Ivclass.Invariant (s n)
+let lin base step = Ivclass.Linear { loop = 0; base = inv base; step = s step }
+
+let show = Ivclass.to_string
+
+let check name expected actual = Alcotest.(check string) name expected (show actual)
+
+let test_linear_rules () =
+  check "lin + inv" "(loop0, 3, 2)" (A.add (lin 1 2) (inv 2));
+  check "lin + lin" "(loop0, 4, 6)" (A.add (lin 1 2) (lin 3 4));
+  check "lin - lin same step" "inv(-2)" (A.sub (lin 1 2) (lin 3 2));
+  check "lin * const" "(loop0, 3, 6)" (A.mul (lin 1 2) (inv 3));
+  check "neg lin" "(loop0, -1, -2)" (A.neg (lin 1 2))
+
+let test_polynomial_rules () =
+  (* (h+1) * (2h+3) = 2h^2 + 5h + 3. *)
+  check "lin * lin" "(loop0, 3, 5, 2)" (A.mul (lin 1 1) (lin 3 2));
+  (* Degree addition. *)
+  let quad = A.mul (lin 0 1) (lin 0 1) in
+  check "h^2" "(loop0, 0, 0, 1)" quad;
+  check "h^2 * h^2" "(loop0, 0, 0, 0, 0, 1)" (A.mul quad quad);
+  check "h^2 + lin" "(loop0, 5, 1, 1)" (A.add quad (lin 5 1))
+
+let test_geometric_rules () =
+  let geo = Ivclass.Geometric { loop = 0; gcoeffs = [| s 1 |]; ratio = Rat.of_int 2; gcoeff = s 3 } in
+  check "geo + inv" "(loop0, 5 | 3*2^h)" (A.add geo (inv 4));
+  check "geo * const" "(loop0, 2 | 6*2^h)" (A.mul geo (inv 2));
+  check "geo + geo same ratio" "(loop0, 2 | 6*2^h)" (A.add geo geo);
+  (* Different ratios are unrepresentable. *)
+  let geo3 = Ivclass.Geometric { loop = 0; gcoeffs = [| s 0 |]; ratio = Rat.of_int 3; gcoeff = s 1 } in
+  check "geo + geo different ratio" "unknown" (A.add geo geo3);
+  (* Pure exponentials multiply. *)
+  let pure r c = Ivclass.Geometric { loop = 0; gcoeffs = [| s 0 |]; ratio = Rat.of_int r; gcoeff = s c } in
+  check "2^h * 3^h" "(loop0, 0 | 2*6^h)" (A.mul (pure 2 1) (pure 3 2));
+  (* Mixed poly * exponential is out of the representation. *)
+  check "lin * geo" "unknown" (A.mul (lin 0 1) geo)
+
+let test_wrap_rules () =
+  let w = Ivclass.wrap 0 (lin 1 1) (s 9) in
+  check "wrap + inv" "wrap(loop0, order 1, [10], (loop0, 2, 1))" (A.add w (inv 1));
+  (* wrap + linear: the linear part shifts past the wrap order. *)
+  check "wrap + lin" "wrap(loop0, order 1, [14], (loop0, 8, 3))"
+    (A.add w (lin 5 2));
+  check "neg wrap" "wrap(loop0, order 1, [-9], (loop0, -1, -1))" (A.neg w)
+
+let test_periodic_rules () =
+  let p = Ivclass.Periodic { loop = 0; period = 2; values = [| s 1; s 2 |]; phase = 0 } in
+  check "periodic + inv" "periodic(loop0, period 2, phase 0, [11; 12])" (A.add p (inv 10));
+  check "periodic * const" "periodic(loop0, period 2, phase 0, [3; 6])" (A.mul p (inv 3));
+  let q = Ivclass.Periodic { loop = 0; period = 2; values = [| s 10; s 20 |]; phase = 1 } in
+  (* Pointwise with phase alignment: (1,2) + (20,10) = (21,12). *)
+  check "periodic + periodic" "periodic(loop0, period 2, phase 0, [21; 12])" (A.add p q);
+  (* Different periods extend to the lcm. *)
+  let r3 = Ivclass.Periodic { loop = 0; period = 3; values = [| s 0; s 1; s 2 |]; phase = 0 } in
+  (match A.add p r3 with
+   | Ivclass.Periodic { period = 6; _ } -> ()
+   | c -> Alcotest.failf "expected period 6, got %s" (show c))
+
+let test_monotonic_rules () =
+  let m strict = Ivclass.Monotonic { loop = 0; dir = Ivclass.Increasing; strict; family = 0 } in
+  (match A.add (m false) (inv 5) with
+   | Ivclass.Monotonic { strict = false; dir = Ivclass.Increasing; _ } -> ()
+   | c -> Alcotest.failf "mono + inv: %s" (show c));
+  (* Adding a strictly increasing linear IV makes it strict. *)
+  (match A.add (m false) (lin 0 2) with
+   | Ivclass.Monotonic { strict = true; _ } -> ()
+   | c -> Alcotest.failf "mono + increasing lin: %s" (show c));
+  (* Adding a decreasing one is unknown. *)
+  check "mono + decreasing" "unknown" (A.add (m true) (lin 0 (-1)));
+  (* Negation flips direction. *)
+  (match A.neg (m true) with
+   | Ivclass.Monotonic { dir = Ivclass.Decreasing; strict = true; _ } -> ()
+   | c -> Alcotest.failf "neg mono: %s" (show c));
+  (* Scaling by a negative constant flips too. *)
+  (match A.mul (m true) (inv (-2)) with
+   | Ivclass.Monotonic { dir = Ivclass.Decreasing; _ } -> ()
+   | c -> Alcotest.failf "mono * -2: %s" (show c))
+
+let test_unknown_absorbs () =
+  List.iter
+    (fun c ->
+      check "unknown + c" "unknown" (A.add Ivclass.Unknown c);
+      check "c * unknown" "unknown" (A.mul c Ivclass.Unknown))
+    [ inv 1; lin 1 2; Ivclass.Unknown ]
+
+let test_div_const () =
+  check "divisible" "(loop0, 2, 3)" (A.div_const (lin 4 6) (Bigint.of_int 2));
+  check "not divisible" "unknown" (A.div_const (lin 3 6) (Bigint.of_int 2));
+  check "by zero" "unknown" (A.div_const (lin 4 6) Bigint.zero)
+
+let test_shift_and_sym_at () =
+  (match A.shift (lin 5 3) 2 with
+   | Some c -> check "shift lin" "(loop0, 11, 3)" c
+   | None -> Alcotest.fail "shift failed");
+  (match A.shift (lin 5 3) (-1) with
+   | Some c -> check "shift back" "(loop0, 2, 3)" c
+   | None -> Alcotest.fail "shift -1 failed");
+  (* Shifting a quadratic uses binomial re-expansion. *)
+  let quad = Ivclass.poly 0 [| s 0; s 0; s 1 |] in
+  (match A.shift quad 1 with
+   | Some c -> check "shift h^2" "(loop0, 1, 2, 1)" c
+   | None -> Alcotest.fail "shift quad failed");
+  Alcotest.(check (option string)) "sym_at quad" (Some "9")
+    (Option.map Sym.to_string (A.sym_at quad 3));
+  (* sym_at_sym substitutes a symbolic iteration count. *)
+  let n = Sym.param (Ir.Ident.of_string "nsym") in
+  Alcotest.(check (option string)) "sym_at_sym" (Some "5 + 3*nsym")
+    (Option.map Sym.to_string (A.sym_at_sym (lin 5 3) n))
+
+let test_growth () =
+  Alcotest.(check bool) "lin inc" true
+    (A.growth (lin 0 2) = Some (Some Ivclass.Increasing, true));
+  Alcotest.(check bool) "lin const" true (A.growth (lin 7 0) = Some (None, false));
+  Alcotest.(check bool) "symbolic step" true
+    (A.growth (Ivclass.Linear { loop = 0; base = inv 0; step = Sym.param (Ir.Ident.of_string "st") })
+     = None)
+
+let suite =
+  ( "algebra",
+    [
+      Helpers.case "linear rules" test_linear_rules;
+      Helpers.case "polynomial rules" test_polynomial_rules;
+      Helpers.case "geometric rules" test_geometric_rules;
+      Helpers.case "wrap-around rules" test_wrap_rules;
+      Helpers.case "periodic rules" test_periodic_rules;
+      Helpers.case "monotonic rules" test_monotonic_rules;
+      Helpers.case "unknown absorbs" test_unknown_absorbs;
+      Helpers.case "exact integer division" test_div_const;
+      Helpers.case "shift and symbolic evaluation" test_shift_and_sym_at;
+      Helpers.case "growth" test_growth;
+    ] )

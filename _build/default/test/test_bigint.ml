@@ -1,0 +1,195 @@
+(* Unit and property tests for the arbitrary-precision integer kernel. *)
+
+open Bignum
+
+let bi = Bigint.of_int
+let s = Bigint.to_string
+
+let check_str name expected actual = Alcotest.(check string) name expected actual
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Bigint.to_int (bi n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 30; -(1 lsl 30); max_int; min_int; max_int - 1 ]
+
+let test_to_string () =
+  check_str "zero" "0" (s Bigint.zero);
+  check_str "one" "1" (s Bigint.one);
+  check_str "neg" "-17" (s (bi (-17)));
+  check_str "big" "4611686018427387904" (s (Bigint.pow (bi 2) 62));
+  check_str "max_int" (string_of_int max_int) (s (bi max_int));
+  check_str "min_int" (string_of_int min_int) (s (bi min_int))
+
+let test_of_string () =
+  check_str "parse" "123456789012345678901234567890"
+    (s (Bigint.of_string "123456789012345678901234567890"));
+  check_str "parse neg" "-987654321098765432109876543210"
+    (s (Bigint.of_string "-987654321098765432109876543210"));
+  check_str "parse plus" "17" (s (Bigint.of_string "+17"));
+  check_str "leading zeros" "42" (s (Bigint.of_string "0042"));
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (Bigint.of_string ""));
+  Alcotest.check_raises "bad char" (Invalid_argument "Bigint.of_string: bad character 'x'")
+    (fun () -> ignore (Bigint.of_string "12x4"))
+
+let test_add_carry () =
+  (* Carries across several limbs. *)
+  let near = Bigint.of_string "1152921504606846975" (* 2^60 - 1 *) in
+  check_str "2^60" "1152921504606846976" (s (Bigint.succ near));
+  let big = Bigint.pow (bi 2) 300 in
+  check_str "2^300 + 2^300 = 2^301"
+    (s (Bigint.pow (bi 2) 301))
+    (s (Bigint.add big big))
+
+let test_mul_known () =
+  check_str "fact 30" "265252859812191058636308480000000"
+    (s (List.fold_left (fun acc i -> Bigint.mul acc (bi i)) Bigint.one
+          (List.init 30 (fun i -> i + 1))));
+  check_str "2^100" "1267650600228229401496703205376" (s (Bigint.pow (bi 2) 100))
+
+let test_divmod_known () =
+  let q, r = Bigint.divmod (Bigint.of_string "1000000000000000000000") (bi 7) in
+  check_str "q" "142857142857142857142" (s q);
+  check_str "r" "6" (s r);
+  (* Truncated division signs, like OCaml's / and mod. *)
+  let check a b =
+    let q, r = Bigint.divmod (bi a) (bi b) in
+    Alcotest.(check int) (Printf.sprintf "%d/%d" a b) (a / b) (Bigint.to_int q);
+    Alcotest.(check int) (Printf.sprintf "%d mod %d" a b) (a mod b) (Bigint.to_int r)
+  in
+  List.iter
+    (fun (a, b) -> check a b)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (6, 3); (-6, 3) ];
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod Bigint.one Bigint.zero))
+
+let test_ediv () =
+  let q, r = Bigint.ediv_rem (bi (-7)) (bi 2) in
+  Alcotest.(check int) "eq" (-4) (Bigint.to_int q);
+  Alcotest.(check int) "er" 1 (Bigint.to_int r);
+  let q, r = Bigint.ediv_rem (bi (-7)) (bi (-2)) in
+  Alcotest.(check int) "eq neg" 4 (Bigint.to_int q);
+  Alcotest.(check int) "er neg" 1 (Bigint.to_int r)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd" 6 (Bigint.to_int (Bigint.gcd (bi 54) (bi (-24))));
+  Alcotest.(check int) "gcd 0" 7 (Bigint.to_int (Bigint.gcd (bi 0) (bi 7)));
+  Alcotest.(check bool) "gcd 0 0" true (Bigint.is_zero (Bigint.gcd Bigint.zero Bigint.zero))
+
+let test_compare () =
+  let l = List.map bi [ -100; -1; 0; 1; 5; 1 lsl 40 ] in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          Alcotest.(check int)
+            (Printf.sprintf "cmp %d %d" i j)
+            (compare i j)
+            (Bigint.compare a b))
+        l)
+    l
+
+let test_to_int_bounds () =
+  Alcotest.(check (option int)) "fits" (Some max_int) (Bigint.to_int_opt (bi max_int));
+  Alcotest.(check (option int)) "min_int" (Some min_int) (Bigint.to_int_opt (bi min_int));
+  Alcotest.(check (option int)) "overflow" None
+    (Bigint.to_int_opt (Bigint.succ (bi max_int)));
+  Alcotest.(check (option int)) "underflow" None
+    (Bigint.to_int_opt (Bigint.pred (bi min_int)))
+
+let test_decimal_digits () =
+  Alcotest.(check int) "0" 1 (Bigint.decimal_digits Bigint.zero);
+  Alcotest.(check int) "999" 3 (Bigint.decimal_digits (bi 999));
+  Alcotest.(check int) "1000" 4 (Bigint.decimal_digits (bi (-1000)))
+
+(* --- properties --- *)
+
+let gen_bigint =
+  (* Mix small ints and products of large ones for multi-limb coverage. *)
+  QCheck2.Gen.(
+    oneof
+      [
+        map Bigint.of_int small_signed_int;
+        map Bigint.of_int int;
+        map2 (fun a b -> Bigint.mul (Bigint.of_int a) (Bigint.of_int b)) int int;
+        map3
+          (fun a b c ->
+            Bigint.add
+              (Bigint.mul (Bigint.mul (Bigint.of_int a) (Bigint.of_int b)) (Bigint.of_int c))
+              (Bigint.of_int a))
+          int int int;
+      ])
+
+let prop_add_commutative =
+  Helpers.qtest "add commutative" QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) -> Bigint.equal (Bigint.add a b) (Bigint.add b a))
+
+let prop_add_associative =
+  Helpers.qtest "add associative" QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+    (fun (a, b, c) ->
+      Bigint.equal (Bigint.add a (Bigint.add b c)) (Bigint.add (Bigint.add a b) c))
+
+let prop_mul_commutative =
+  Helpers.qtest "mul commutative" QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) -> Bigint.equal (Bigint.mul a b) (Bigint.mul b a))
+
+let prop_distributive =
+  Helpers.qtest "mul distributes" QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+    (fun (a, b, c) ->
+      Bigint.equal
+        (Bigint.mul a (Bigint.add b c))
+        (Bigint.add (Bigint.mul a b) (Bigint.mul a c)))
+
+let prop_sub_inverse =
+  Helpers.qtest "a - a = 0" gen_bigint (fun a -> Bigint.is_zero (Bigint.sub a a))
+
+let prop_divmod =
+  Helpers.qtest "divmod reconstructs" QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) ->
+      if Bigint.is_zero b then true
+      else begin
+        let q, r = Bigint.divmod a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+        && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a)
+      end)
+
+let prop_string_roundtrip =
+  Helpers.qtest "string roundtrip" gen_bigint (fun a ->
+      Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+let prop_gcd_divides =
+  Helpers.qtest "gcd divides both" QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) ->
+      let g = Bigint.gcd a b in
+      if Bigint.is_zero g then Bigint.is_zero a && Bigint.is_zero b
+      else Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g))
+
+let prop_compare_total =
+  Helpers.qtest "compare antisymmetric" QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) -> Bigint.compare a b = -Bigint.compare b a)
+
+let suite =
+  ( "bigint",
+    [
+      Helpers.case "of_int/to_int roundtrip" test_of_int_roundtrip;
+      Helpers.case "to_string" test_to_string;
+      Helpers.case "of_string" test_of_string;
+      Helpers.case "add carries" test_add_carry;
+      Helpers.case "mul known values" test_mul_known;
+      Helpers.case "divmod known values" test_divmod_known;
+      Helpers.case "euclidean division" test_ediv;
+      Helpers.case "gcd" test_gcd;
+      Helpers.case "compare" test_compare;
+      Helpers.case "to_int bounds" test_to_int_bounds;
+      Helpers.case "decimal digits" test_decimal_digits;
+      prop_add_commutative;
+      prop_add_associative;
+      prop_mul_commutative;
+      prop_distributive;
+      prop_sub_inverse;
+      prop_divmod;
+      prop_string_roundtrip;
+      prop_gcd_divides;
+      prop_compare_total;
+    ] )

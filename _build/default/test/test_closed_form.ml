@@ -1,0 +1,164 @@
+(* Closed-form recovery by rational matrix inversion (paper §4.3). *)
+
+module Sym = Analysis.Sym
+module Ivclass = Analysis.Ivclass
+module Closed_form = Analysis.Closed_form
+open Bignum
+
+let s = Sym.of_int
+let no_atoms : Sym.atom -> Rat.t option = fun _ -> None
+
+let eval cls h =
+  match Ivclass.eval_at no_atoms cls h with
+  | Some v -> v
+  | None -> Alcotest.failf "closed form not evaluable at %d" h
+
+let check_sequence name cls ~init ~next n =
+  (* Simulate the recurrence and compare every value with the class. *)
+  let v = ref init in
+  for h = 0 to n do
+    Alcotest.(check string)
+      (Printf.sprintf "%s at h=%d" name h)
+      (string_of_int !v)
+      (Rat.to_string (eval cls h));
+    v := next h !v
+  done
+
+let test_second_order () =
+  (* v' = v + (1 + h): v(h) = triangular numbers + v0. *)
+  let cls = Closed_form.polynomial ~loop:0 ~init:(s 4) ~add_coeffs:[| s 1; s 1 |] in
+  check_sequence "triangular" cls ~init:4 ~next:(fun h v -> v + 1 + h) 10
+
+let test_third_order () =
+  (* The paper's k: k' = k + j + 1 where j(h) = (h^2+3h+4)/2. With the
+     additive part expressed directly as a polynomial. *)
+  let add = [| Sym.of_rat (Rat.of_ints 6 2); Sym.of_rat (Rat.of_ints 3 2); Sym.of_rat (Rat.of_ints 1 2) |] in
+  let cls = Closed_form.polynomial ~loop:0 ~init:(s 1) ~add_coeffs:add in
+  check_sequence "cubic" cls ~init:1
+    ~next:(fun h v -> v + ((h * h) + (3 * h) + 4) / 2 + 1)
+    10
+
+let test_geometric_simple () =
+  (* l' = 2l + 1 from l0 = 1: l(h) = 2^(h+1) - 1. *)
+  let cls = Closed_form.geometric ~loop:0 ~init:(s 1) ~mult:(Rat.of_int 2) ~add_coeffs:[| s 1 |] in
+  check_sequence "2l+1" cls ~init:1 ~next:(fun _ v -> (2 * v) + 1) 15
+
+let test_geometric_paper_m () =
+  (* m' = 3m + 2i + 1 with i(h) = h+1 (the paper's worked example):
+     m(h) = 6*3^h - h - 3... for the value *before* the h-th update
+     m(0)=0: closed form has no quadratic term. *)
+  let cls =
+    Closed_form.geometric ~loop:0 ~init:(s 0) ~mult:(Rat.of_int 3)
+      ~add_coeffs:[| s 3; s 2 |]
+  in
+  (match cls with
+   | Ivclass.Geometric g ->
+     Alcotest.(check string) "ratio" "3" (Rat.to_string g.Ivclass.ratio);
+     (* The quadratic coefficient must have come out zero, collapsing
+        the polynomial part to degree 1. *)
+     Alcotest.(check int) "poly degree" 2 (Array.length g.Ivclass.gcoeffs)
+   | _ -> Alcotest.fail "expected geometric");
+  check_sequence "3m+2i+1" cls ~init:0 ~next:(fun h v -> (3 * v) + (2 * (h + 1)) + 1) 12
+
+let test_negative_ratio () =
+  (* v' = -2v + 1. *)
+  let cls =
+    Closed_form.geometric ~loop:0 ~init:(s 5) ~mult:(Rat.of_int (-2)) ~add_coeffs:[| s 1 |]
+  in
+  check_sequence "-2v+1" cls ~init:5 ~next:(fun _ v -> (-2 * v) + 1) 12
+
+let test_polynomial_plus_geometric () =
+  (* v' = v + h + 2^h. *)
+  let cls =
+    Closed_form.polynomial_plus_geometric ~loop:0 ~init:(s 0)
+      ~add_coeffs:[| s 0; s 1 |] ~gratio:(Rat.of_int 2) ~gcoeff:(s 1)
+  in
+  let pow2 = ref 1 in
+  let v = ref 0 in
+  for h = 0 to 12 do
+    Alcotest.(check string)
+      (Printf.sprintf "h=%d" h)
+      (string_of_int !v)
+      (Rat.to_string (eval cls h));
+    v := !v + h + !pow2;
+    pow2 := !pow2 * 2
+  done
+
+let test_symbolic_init () =
+  (* Symbolic initial value flows into the constant coefficient only. *)
+  let b = Sym.param (Ir.Ident.of_string "binit") in
+  let cls = Closed_form.polynomial ~loop:0 ~init:b ~add_coeffs:[| s 0; s 1 |] in
+  match cls with
+  | Ivclass.Poly { coeffs; _ } ->
+    Alcotest.(check bool) "c0 contains the symbol" true
+      (List.length (Sym.atoms coeffs.(0)) = 1);
+    Alcotest.(check bool) "c1 constant" true (Sym.is_const coeffs.(1));
+    Alcotest.(check bool) "c2 constant" true (Sym.is_const coeffs.(2))
+  | _ -> Alcotest.fail "expected quadratic"
+
+let test_degenerate_ratios () =
+  Alcotest.(check bool) "mult = 1 rejected" true
+    (Closed_form.geometric ~loop:0 ~init:(s 0) ~mult:Rat.one ~add_coeffs:[| s 1 |]
+     = Ivclass.Unknown);
+  Alcotest.(check bool) "mult = 0 rejected" true
+    (Closed_form.geometric ~loop:0 ~init:(s 0) ~mult:Rat.zero ~add_coeffs:[| s 1 |]
+     = Ivclass.Unknown)
+
+(* Property: for random small polynomial additive parts and initial
+   values, the recovered closed form reproduces the simulated sequence. *)
+let prop_polynomial_matches_simulation =
+  Helpers.qtest ~count:150 "polynomial recurrences match simulation"
+    QCheck2.Gen.(
+      pair (int_range (-10) 10) (list_size (int_range 1 4) (int_range (-6) 6)))
+    (fun (init, add) ->
+      let add_coeffs = Array.of_list (List.map s add) in
+      let cls = Closed_form.polynomial ~loop:0 ~init:(s init) ~add_coeffs in
+      let padd h =
+        List.fold_left (fun (acc, p) c -> (acc + (c * p), p * h)) (0, 1) add |> fst
+      in
+      let v = ref init in
+      let ok = ref true in
+      for h = 0 to 12 do
+        (match Ivclass.eval_at no_atoms cls h with
+         | Some r -> if not (Rat.equal r (Rat.of_int !v)) then ok := false
+         | None -> ok := false);
+        v := !v + padd h
+      done;
+      !ok)
+
+let prop_geometric_matches_simulation =
+  Helpers.qtest ~count:150 "geometric recurrences match simulation"
+    QCheck2.Gen.(
+      triple (int_range (-8) 8)
+        (oneofl [ -3; -2; 2; 3; 4 ])
+        (list_size (int_range 1 3) (int_range (-5) 5)))
+    (fun (init, mult, add) ->
+      let add_coeffs = Array.of_list (List.map s add) in
+      let cls = Closed_form.geometric ~loop:0 ~init:(s init) ~mult:(Rat.of_int mult) ~add_coeffs in
+      let padd h =
+        List.fold_left (fun (acc, p) c -> (acc + (c * p), p * h)) (0, 1) add |> fst
+      in
+      let v = ref init in
+      let ok = ref true in
+      for h = 0 to 10 do
+        (match Ivclass.eval_at no_atoms cls h with
+         | Some r -> if not (Rat.equal r (Rat.of_int !v)) then ok := false
+         | None -> ok := false);
+        v := (mult * !v) + padd h
+      done;
+      !ok)
+
+let suite =
+  ( "closed-form",
+    [
+      Helpers.case "second order" test_second_order;
+      Helpers.case "third order (paper k)" test_third_order;
+      Helpers.case "geometric 2l+1" test_geometric_simple;
+      Helpers.case "paper m = 3m+2i+1" test_geometric_paper_m;
+      Helpers.case "negative ratio" test_negative_ratio;
+      Helpers.case "polynomial plus geometric" test_polynomial_plus_geometric;
+      Helpers.case "symbolic initial value" test_symbolic_init;
+      Helpers.case "degenerate ratios" test_degenerate_ratios;
+      prop_polynomial_matches_simulation;
+      prop_geometric_matches_simulation;
+    ] )

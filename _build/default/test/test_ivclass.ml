@@ -1,0 +1,135 @@
+(* The classification lattice: smart constructors, evaluation, printing. *)
+
+module Ivclass = Analysis.Ivclass
+module Sym = Analysis.Sym
+open Bignum
+
+let s = Sym.of_int
+let no_atoms : Sym.atom -> Rat.t option = fun _ -> None
+
+let test_linear_constructor () =
+  (* Zero step over an invariant base collapses. *)
+  Alcotest.(check string) "zero step" "inv(5)"
+    (Ivclass.to_string (Ivclass.linear 0 (Ivclass.Invariant (s 5)) Sym.zero));
+  Alcotest.(check string) "real step" "(loop0, 5, 2)"
+    (Ivclass.to_string (Ivclass.linear 0 (Ivclass.Invariant (s 5)) (s 2)))
+
+let test_poly_constructor () =
+  Alcotest.(check string) "degree collapse" "(loop0, 1, 2)"
+    (Ivclass.to_string (Ivclass.poly 0 [| s 1; s 2; Sym.zero; Sym.zero |]));
+  Alcotest.(check string) "constant collapse" "inv(7)"
+    (Ivclass.to_string (Ivclass.poly 0 [| s 7; Sym.zero |]));
+  Alcotest.(check string) "empty is zero" "inv(0)"
+    (Ivclass.to_string (Ivclass.poly 0 [||]));
+  Alcotest.(check string) "true quadratic" "(loop0, 0, 0, 1)"
+    (Ivclass.to_string (Ivclass.poly 0 [| Sym.zero; Sym.zero; s 1 |]))
+
+let test_geometric_constructor () =
+  (* Ratio 1 folds into the constant term. *)
+  Alcotest.(check string) "ratio 1" "(loop0, 5, 2)"
+    (Ivclass.to_string (Ivclass.geometric 0 [| s 2; s 2 |] Rat.one (s 3)));
+  (* Zero coefficient degrades to the polynomial part. *)
+  Alcotest.(check string) "zero gcoeff" "(loop0, 2, 2)"
+    (Ivclass.to_string (Ivclass.geometric 0 [| s 2; s 2 |] (Rat.of_int 2) Sym.zero));
+  (* Trailing zero polynomial coefficients strip. *)
+  Alcotest.(check string) "stripped" "(loop0, 2 | 3*2^h)"
+    (Ivclass.to_string
+       (Ivclass.geometric 0 [| s 2; Sym.zero; Sym.zero |] (Rat.of_int 2) (s 3)))
+
+let test_wrap_constructor () =
+  let lin = Ivclass.linear 0 (Ivclass.Invariant (s 0)) (s 1) in
+  let w1 = Ivclass.wrap 0 lin (s 9) in
+  let w2 = Ivclass.wrap 0 w1 (s 8) in
+  (match w2 with
+   | Ivclass.Wrap { order = 2; initials = [ i8; i9 ]; _ } ->
+     Alcotest.(check bool) "initials ordered" true
+       (Sym.equal i8 (s 8) && Sym.equal i9 (s 9))
+   | _ -> Alcotest.fail "expected flattened order-2 wrap");
+  (* The order cap turns pathological cascades into Unknown. *)
+  let deep = ref lin in
+  for i = 0 to Ivclass.max_wrap_order + 1 do
+    deep := Ivclass.wrap 0 !deep (s i)
+  done;
+  Alcotest.(check bool) "cap reached" true (!deep = Ivclass.Unknown)
+
+let test_eval_at () =
+  let quad = Ivclass.poly 0 [| s 4; s 3; s 1 |] in
+  List.iter
+    (fun (h, expected) ->
+      match Ivclass.eval_at no_atoms quad h with
+      | Some v -> Alcotest.(check string) (Printf.sprintf "h=%d" h) expected (Rat.to_string v)
+      | None -> Alcotest.fail "eval failed")
+    [ (0, "4"); (1, "8"); (2, "14"); (3, "22") ];
+  let geo = Ivclass.geometric 0 [| s (-1) |] (Rat.of_int 2) (s 4) in
+  (match Ivclass.eval_at no_atoms geo 3 with
+   | Some v -> Alcotest.(check string) "4*2^3 - 1" "31" (Rat.to_string v)
+   | None -> Alcotest.fail "geo eval failed");
+  let per =
+    Ivclass.Periodic { loop = 0; period = 3; values = [| s 7; s 8; s 9 |]; phase = 1 }
+  in
+  (match Ivclass.eval_at no_atoms per 4 with
+   | Some v -> Alcotest.(check string) "values[(4+1) mod 3]" "9" (Rat.to_string v)
+   | None -> Alcotest.fail "periodic eval failed");
+  let wrapped = Ivclass.wrap 0 (Ivclass.linear 0 (Ivclass.Invariant (s 0)) (s 10)) (s 99) in
+  (match (Ivclass.eval_at no_atoms wrapped 0, Ivclass.eval_at no_atoms wrapped 3) with
+   | Some v0, Some v3 ->
+     Alcotest.(check string) "initial" "99" (Rat.to_string v0);
+     Alcotest.(check string) "inner(h-1)" "20" (Rat.to_string v3)
+   | _ -> Alcotest.fail "wrap eval failed")
+
+let test_eval_at_nest () =
+  (* Multiloop: inner base = outer linear (L0, 10, 100). *)
+  let outer = Ivclass.linear 0 (Ivclass.Invariant (s 10)) (s 100) in
+  let inner = Ivclass.Linear { loop = 1; base = outer; step = s 2 } in
+  let iter_of = function 0 -> Some 3 | _ -> None in
+  (match Ivclass.eval_at_nest no_atoms iter_of inner 5 with
+   | Some v ->
+     (* base at outer h=3: 310; + 2*5. *)
+     Alcotest.(check string) "nested" "320" (Rat.to_string v)
+   | None -> Alcotest.fail "nested eval failed");
+  (* Without outer context the nested base cannot evaluate. *)
+  Alcotest.(check bool) "no context" true (Ivclass.eval_at no_atoms inner 5 = None)
+
+let test_equal () =
+  let a = Ivclass.linear 0 (Ivclass.Invariant (s 1)) (s 2) in
+  let b = Ivclass.linear 0 (Ivclass.Invariant (s 1)) (s 2) in
+  let c = Ivclass.linear 1 (Ivclass.Invariant (s 1)) (s 2) in
+  Alcotest.(check bool) "equal" true (Ivclass.equal a b);
+  Alcotest.(check bool) "loop differs" false (Ivclass.equal a c);
+  Alcotest.(check bool) "unknown = unknown" true (Ivclass.equal Ivclass.Unknown Ivclass.Unknown)
+
+let test_degree_and_views () =
+  Alcotest.(check (option int)) "inv" (Some 0) (Ivclass.degree (Ivclass.Invariant (s 1)));
+  Alcotest.(check (option int)) "lin" (Some 1)
+    (Ivclass.degree (Ivclass.linear 0 (Ivclass.Invariant (s 1)) (s 2)));
+  Alcotest.(check (option int)) "quad" (Some 2)
+    (Ivclass.degree (Ivclass.poly 0 [| s 0; s 0; s 1 |]));
+  Alcotest.(check bool) "coeff_array of multiloop is None" true
+    (Ivclass.coeff_array
+       (Ivclass.Linear
+          { loop = 1; base = Ivclass.linear 0 (Ivclass.Invariant (s 1)) (s 2); step = s 1 })
+     = None)
+
+let test_is_induction () =
+  Alcotest.(check bool) "linear" true
+    (Ivclass.is_induction (Ivclass.linear 0 (Ivclass.Invariant (s 1)) (s 2)));
+  Alcotest.(check bool) "wrap of linear" true
+    (Ivclass.is_induction (Ivclass.wrap 0 (Ivclass.linear 0 (Ivclass.Invariant (s 1)) (s 2)) (s 9)));
+  Alcotest.(check bool) "monotonic" false
+    (Ivclass.is_induction
+       (Ivclass.Monotonic { loop = 0; dir = Ivclass.Increasing; strict = true; family = 0 }));
+  Alcotest.(check bool) "unknown" false (Ivclass.is_induction Ivclass.Unknown)
+
+let suite =
+  ( "ivclass",
+    [
+      Helpers.case "linear constructor" test_linear_constructor;
+      Helpers.case "poly constructor" test_poly_constructor;
+      Helpers.case "geometric constructor" test_geometric_constructor;
+      Helpers.case "wrap constructor and cap" test_wrap_constructor;
+      Helpers.case "eval_at" test_eval_at;
+      Helpers.case "eval_at_nest" test_eval_at_nest;
+      Helpers.case "structural equality" test_equal;
+      Helpers.case "degrees and views" test_degree_and_views;
+      Helpers.case "is_induction" test_is_induction;
+    ] )

@@ -1,0 +1,103 @@
+(* Unit and property tests for exact rationals. *)
+
+open Bignum
+
+let r = Rat.of_ints
+let check_str name expected actual = Alcotest.(check string) name expected (Rat.to_string actual)
+
+let test_canonical () =
+  check_str "reduce" "2/3" (r 4 6);
+  check_str "sign in num" "-2/3" (r 4 (-6));
+  check_str "double neg" "2/3" (r (-4) (-6));
+  check_str "zero" "0" (r 0 17);
+  check_str "integer" "5" (r 10 2);
+  Alcotest.check_raises "zero den" Division_by_zero (fun () -> ignore (r 1 0))
+
+let test_arith () =
+  check_str "add" "5/6" (Rat.add (r 1 2) (r 1 3));
+  check_str "sub" "1/6" (Rat.sub (r 1 2) (r 1 3));
+  check_str "mul" "1/6" (Rat.mul (r 1 2) (r 1 3));
+  check_str "div" "3/2" (Rat.div (r 1 2) (r 1 3));
+  check_str "pow" "8/27" (Rat.pow (r 2 3) 3);
+  check_str "pow neg" "27/8" (Rat.pow (r 2 3) (-3));
+  check_str "pow zero" "1" (Rat.pow (r 2 3) 0);
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero))
+
+let test_floor_ceil () =
+  let check name v expected_floor expected_ceil =
+    Alcotest.(check int) (name ^ " floor") expected_floor (Bigint.to_int (Rat.floor v));
+    Alcotest.(check int) (name ^ " ceil") expected_ceil (Bigint.to_int (Rat.ceil v))
+  in
+  check "7/2" (r 7 2) 3 4;
+  check "-7/2" (r (-7) 2) (-4) (-3);
+  check "3" (r 3 1) 3 3;
+  check "-3" (r (-3) 1) (-3) (-3);
+  check "1/3" (r 1 3) 0 1;
+  check "-1/3" (r (-1) 3) (-1) 0
+
+let test_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true (Rat.compare (r 1 2) (r 2 3) < 0);
+  Alcotest.(check bool) "-1/2 > -2/3" true (Rat.compare (r (-1) 2) (r (-2) 3) > 0);
+  Alcotest.(check bool) "equal" true (Rat.equal (r 2 4) (r 1 2))
+
+let test_exactness () =
+  Alcotest.(check (option int)) "int exact" (Some 4) (Rat.to_int_exact (r 8 2));
+  Alcotest.(check (option int)) "not int" None (Rat.to_int_exact (r 7 2));
+  Alcotest.(check bool) "is_integer" true (Rat.is_integer (r 8 2))
+
+let gen_rat =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rat.of_ints n (if d = 0 then 1 else d))
+      (int_range (-10000) 10000)
+      (int_range (-100) 100))
+
+let prop_field_add_inv =
+  Helpers.qtest "x + (-x) = 0" gen_rat (fun x -> Rat.is_zero (Rat.add x (Rat.neg x)))
+
+let prop_field_mul_inv =
+  Helpers.qtest "x * 1/x = 1" gen_rat (fun x ->
+      Rat.is_zero x || Rat.equal Rat.one (Rat.mul x (Rat.inv x)))
+
+let prop_distributive =
+  Helpers.qtest "distributivity" QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_canonical =
+  Helpers.qtest "canonical form" gen_rat (fun x ->
+      Bigint.sign (Rat.den x) > 0
+      &&
+      if Rat.is_zero x then Bigint.equal (Rat.den x) Bigint.one
+      else Bigint.equal (Bigint.gcd (Rat.num x) (Rat.den x)) Bigint.one)
+
+let prop_floor_le =
+  Helpers.qtest "floor <= x <= ceil" gen_rat (fun x ->
+      Rat.compare (Rat.of_bigint (Rat.floor x)) x <= 0
+      && Rat.compare x (Rat.of_bigint (Rat.ceil x)) <= 0
+      && Rat.compare
+           (Rat.sub (Rat.of_bigint (Rat.ceil x)) (Rat.of_bigint (Rat.floor x)))
+           Rat.one
+         <= 0)
+
+let prop_compare_consistent =
+  Helpers.qtest "compare vs sub" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+      let c = Rat.compare a b in
+      let s = Rat.sign (Rat.sub a b) in
+      (c > 0) = (s > 0) && (c = 0) = (s = 0))
+
+let suite =
+  ( "rat",
+    [
+      Helpers.case "canonical form" test_canonical;
+      Helpers.case "arithmetic" test_arith;
+      Helpers.case "floor/ceil" test_floor_ceil;
+      Helpers.case "compare" test_compare;
+      Helpers.case "exactness" test_exactness;
+      prop_field_add_inv;
+      prop_field_mul_inv;
+      prop_distributive;
+      prop_canonical;
+      prop_floor_le;
+      prop_compare_consistent;
+    ] )

@@ -1,0 +1,159 @@
+(* Rational matrices: inversion, solving, determinants, and the
+   Vandermonde helpers used by closed-form recovery (paper §4.3). *)
+
+open Bignum
+
+let ri = Rat.of_int
+
+let of_int_rows rows = Ratmat.of_rows (List.map (List.map ri) rows)
+
+let test_identity_inverse () =
+  let i3 = Ratmat.identity 3 in
+  match Ratmat.inverse i3 with
+  | Some inv -> Alcotest.(check bool) "I^-1 = I" true (Ratmat.equal inv i3)
+  | None -> Alcotest.fail "identity is singular?"
+
+let test_known_inverse () =
+  (* The paper's 4x4 Vandermonde for the cubic k in loop L14. *)
+  let a = of_int_rows [ [ 1; 0; 0; 0 ]; [ 1; 1; 1; 1 ]; [ 1; 2; 4; 8 ]; [ 1; 3; 9; 27 ] ] in
+  match Ratmat.inverse a with
+  | None -> Alcotest.fail "vandermonde singular"
+  | Some inv ->
+    Alcotest.(check bool) "A * A^-1 = I" true
+      (Ratmat.equal (Ratmat.mul a inv) (Ratmat.identity 4));
+    (* Multiplying the inverse by the first four values of k
+       (4, 9, 17, 29) gives the paper's coefficients (4, 23/6, 1, 1/6). *)
+    let coeffs = Ratmat.mul_vec inv [| ri 4; ri 9; ri 17; ri 29 |] in
+    let expect = [| ri 4; Rat.of_ints 23 6; ri 1; Rat.of_ints 1 6 |] in
+    Array.iteri
+      (fun i c ->
+        Alcotest.(check string)
+          (Printf.sprintf "coeff %d" i)
+          (Rat.to_string expect.(i))
+          (Rat.to_string c))
+      coeffs
+
+let test_paper_geometric_matrix () =
+  (* The paper's m = 3*m + 2*i + 1 example: geometric base 3 with a
+     quadratic polynomial part; matrix rows [1, h, h^2, 3^h]. *)
+  let a = Ratmat.geometric_vandermonde 2 (ri 3) in
+  let expected =
+    of_int_rows
+      [ [ 1; 0; 0; 1 ]; [ 1; 1; 1; 3 ]; [ 1; 2; 4; 9 ]; [ 1; 3; 9; 27 ] ]
+  in
+  Alcotest.(check bool) "matrix shape" true (Ratmat.equal a expected);
+  (* The first four computed values of m (3, 14, 49, 156) give
+     m(h) = 6*3^h - h - 3, with no quadratic term (the paper's "note
+     there is no quadratic term after all"). *)
+  match Ratmat.inverse a with
+  | None -> Alcotest.fail "singular"
+  | Some inv ->
+    let coeffs = Ratmat.mul_vec inv [| ri 3; ri 14; ri 49; ri 156 |] in
+    let expect = [| ri (-3); ri (-1); ri 0; ri 6 |] in
+    Array.iteri
+      (fun i c ->
+        Alcotest.(check string)
+          (Printf.sprintf "m coeff %d" i)
+          (Rat.to_string expect.(i))
+          (Rat.to_string c))
+      coeffs
+
+let test_singular () =
+  let m = of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ] in
+  Alcotest.(check bool) "singular" true (Ratmat.inverse m = None);
+  Alcotest.(check string) "det 0" "0" (Rat.to_string (Ratmat.determinant m))
+
+let test_solve () =
+  let m = of_int_rows [ [ 2; 1 ]; [ 1; 3 ] ] in
+  match Ratmat.solve m [| ri 5; ri 10 |] with
+  | None -> Alcotest.fail "solve failed"
+  | Some x ->
+    Alcotest.(check string) "x0" "1" (Rat.to_string x.(0));
+    Alcotest.(check string) "x1" "3" (Rat.to_string x.(1))
+
+let test_determinant () =
+  let m = of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 10 ] ] in
+  Alcotest.(check string) "det" "-3" (Rat.to_string (Ratmat.determinant m))
+
+let test_transpose_mul () =
+  let a = of_int_rows [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] in
+  let at = Ratmat.transpose a in
+  Alcotest.(check int) "rows" 2 (Ratmat.rows at);
+  Alcotest.(check int) "cols" 3 (Ratmat.cols at);
+  let p = Ratmat.mul at a in
+  Alcotest.(check string) "p00" "35" (Rat.to_string (Ratmat.get p 0 0));
+  Alcotest.(check string) "p01" "44" (Rat.to_string (Ratmat.get p 0 1))
+
+(* --- properties --- *)
+
+let gen_matrix n =
+  QCheck2.Gen.(
+    map
+      (fun entries -> Ratmat.init n n (fun i j -> ri (List.nth entries ((i * n) + j))))
+      (list_size (return (n * n)) (int_range (-9) 9)))
+
+let prop_inverse_correct =
+  Helpers.qtest ~count:100 "A * A^-1 = I (3x3)" (gen_matrix 3) (fun m ->
+      match Ratmat.inverse m with
+      | None -> Rat.is_zero (Ratmat.determinant m)
+      | Some inv ->
+        Ratmat.equal (Ratmat.mul m inv) (Ratmat.identity 3)
+        && Ratmat.equal (Ratmat.mul inv m) (Ratmat.identity 3))
+
+let prop_det_product =
+  Helpers.qtest ~count:60 "det(AB) = det A det B (3x3)"
+    QCheck2.Gen.(pair (gen_matrix 3) (gen_matrix 3))
+    (fun (a, b) ->
+      Rat.equal
+        (Ratmat.determinant (Ratmat.mul a b))
+        (Rat.mul (Ratmat.determinant a) (Ratmat.determinant b)))
+
+let prop_solve_consistent =
+  Helpers.qtest ~count:100 "solve then multiply"
+    QCheck2.Gen.(
+      pair (gen_matrix 3) (list_size (return 3) (int_range (-20) 20)))
+    (fun (m, b) ->
+      let b = Array.of_list (List.map ri b) in
+      match Ratmat.solve m b with
+      | None -> Rat.is_zero (Ratmat.determinant m)
+      | Some x ->
+        let b' = Ratmat.mul_vec m x in
+        Array.for_all2 Rat.equal b b')
+
+let prop_vandermonde_fits_polynomial =
+  (* Solving the Vandermonde system against the first values of a random
+     polynomial recovers exactly its coefficients. *)
+  Helpers.qtest ~count:100 "vandermonde recovers polynomials"
+    QCheck2.Gen.(list_size (int_range 1 5) (int_range (-10) 10))
+    (fun coeffs ->
+      let deg = List.length coeffs - 1 in
+      let eval h =
+        List.fold_left
+          (fun (acc, p) c -> (acc + (c * p), p * h))
+          (0, 1) coeffs
+        |> fst
+      in
+      let values = Array.init (deg + 1) (fun h -> ri (eval h)) in
+      match Ratmat.inverse (Ratmat.vandermonde deg) with
+      | None -> false
+      | Some inv ->
+        let solved = Ratmat.mul_vec inv values in
+        List.for_all2
+          (fun c s -> Rat.equal (ri c) s)
+          coeffs (Array.to_list solved))
+
+let suite =
+  ( "ratmat",
+    [
+      Helpers.case "identity inverse" test_identity_inverse;
+      Helpers.case "paper cubic Vandermonde" test_known_inverse;
+      Helpers.case "paper geometric matrix" test_paper_geometric_matrix;
+      Helpers.case "singular matrices" test_singular;
+      Helpers.case "solve" test_solve;
+      Helpers.case "determinant" test_determinant;
+      Helpers.case "transpose and multiply" test_transpose_mul;
+      prop_inverse_correct;
+      prop_det_product;
+      prop_solve_consistent;
+      prop_vandermonde_fits_polynomial;
+    ] )

@@ -1,0 +1,101 @@
+(* Sparse conditional constant propagation ([WZ91]). *)
+
+module Sccp = Analysis.Sccp
+
+let run src =
+  let ssa = Ir.Ssa.of_source src in
+  (ssa, Sccp.run ssa)
+
+let const_of_name ssa r name =
+  match Ir.Ssa.def_of_name ssa name with
+  | Some id -> Sccp.const_of r id
+  | None -> (
+    (* The name may resolve to a constant directly. *)
+    match Ir.Ssa.value_of_name ssa name with
+    | Some (Ir.Instr.Const c) -> Some c
+    | _ -> None)
+
+let test_straightline () =
+  let ssa, r = run "x = 2 + 3\ny = x * x\nz = y - 20" in
+  Alcotest.(check (option int)) "x" (Some 5) (const_of_name ssa r "x1");
+  Alcotest.(check (option int)) "y" (Some 25) (const_of_name ssa r "y1");
+  Alcotest.(check (option int)) "z" (Some 5) (const_of_name ssa r "z1")
+
+let test_dead_branch () =
+  (* The condition is constant, so only one arm executes and the join
+     phi is constant. *)
+  let ssa, r = run "c = 1\nif c > 0 then x = 10 else x = 20 endif\ny = x + 1" in
+  Alcotest.(check (option int)) "y through dead branch" (Some 11)
+    (const_of_name ssa r "y1");
+  let _, _, dead = Sccp.fold_stats r ssa in
+  Alcotest.(check bool) "some block is dead" true (dead >= 1)
+
+let test_merge_same () =
+  (* Both arms assign the same constant: the phi stays constant. *)
+  let ssa, r = run "if ?? then x = 7 else x = 7 endif\ny = x\nA(0) = y" in
+  Alcotest.(check (option int)) "same-constant merge" (Some 7)
+    (const_of_name ssa r "y1" |> fun o ->
+     match o with
+     | Some v -> Some v
+     | None -> (
+       match Ir.Ssa.value_of_name ssa "y1" with
+       | Some (Ir.Instr.Def d) -> Sccp.const_of r d
+       | Some (Ir.Instr.Const c) -> Some c
+       | _ -> None))
+
+let test_merge_different () =
+  let ssa, r = run "if ?? then x = 1 else x = 2 endif\ny = x\nA(0) = y" in
+  (match Ir.Ssa.value_of_name ssa "y1" with
+   | Some (Ir.Instr.Def d) ->
+     Alcotest.(check (option int)) "different constants" None (Sccp.const_of r d)
+   | _ -> Alcotest.fail "y1 should be the phi")
+
+let test_param_bottom () =
+  let ssa, r = run "y = n + 1" in
+  (match Ir.Ssa.def_of_name ssa "y1" with
+   | Some id -> Alcotest.(check (option int)) "param is unknown" None (Sccp.const_of r id)
+   | None -> Alcotest.fail "y1 missing")
+
+let test_mul_by_zero () =
+  (* 0 * unknown = 0 even when the other operand is unknown. *)
+  let ssa, r = run "y = 0 * n\nz = y + 1" in
+  Alcotest.(check (option int)) "0*n" (Some 1) (const_of_name ssa r "z1")
+
+let test_loop_invariant_constant () =
+  (* After scalar promotion, constants live in *instructions* only when
+     some arithmetic folds: 2 + 2 is an AD instruction proved Const 4,
+     while the loop-variant sum stays Bottom. *)
+  let ssa, r =
+    run "c = 2 + 2\ns = 0\nL1: loop\n  s = s + c\n  if s > 100 exit\nendloop\nA(0) = s"
+  in
+  ignore ssa;
+  let consts, total, _ = Sccp.fold_stats r ssa in
+  Alcotest.(check bool) "some constants, not all" true (consts > 0 && consts < total)
+
+let test_loop_variant_not_constant () =
+  let ssa, r = run "x = 0\nL1: loop\n  x = x + 1\n  if x > 3 exit\nendloop\nA(0) = x" in
+  (match Ir.Ssa.def_of_name ssa "x2" with
+   | Some id -> Alcotest.(check (option int)) "loop phi varies" None (Sccp.const_of r id)
+   | None -> Alcotest.fail "x2 missing")
+
+let test_constant_exit_condition () =
+  (* A loop whose exit condition folds to "always exit" makes the body
+     execute exactly once and everything after is reachable. *)
+  let ssa, r = run "x = 5\nL1: loop\n  if x > 0 exit\n  x = x + 1\nendloop\ny = x + 1" in
+  Alcotest.(check (option int)) "after-loop value" (Some 6) (const_of_name ssa r "y1");
+  ignore ssa;
+  ignore r
+
+let suite =
+  ( "sccp",
+    [
+      Helpers.case "straight line folding" test_straightline;
+      Helpers.case "dead branch" test_dead_branch;
+      Helpers.case "same-constant merge" test_merge_same;
+      Helpers.case "different-constant merge" test_merge_different;
+      Helpers.case "parameters are unknown" test_param_bottom;
+      Helpers.case "multiply by zero" test_mul_by_zero;
+      Helpers.case "loop constants" test_loop_invariant_constant;
+      Helpers.case "loop variant" test_loop_variant_not_constant;
+      Helpers.case "constant exit condition" test_constant_exit_condition;
+    ] )

@@ -1,0 +1,142 @@
+(* The symbolic polynomial algebra used for initial values and steps. *)
+
+module Sym = Analysis.Sym
+open Bignum
+
+(* Fresh names interned here in this order, so the canonical atom order
+   (and hence printing) is aa < bb < cc. *)
+let aa = Sym.param (Ir.Ident.of_string "aa")
+let bb = Sym.param (Ir.Ident.of_string "bb")
+let cc = Sym.param (Ir.Ident.of_string "cc")
+
+let check name expected actual =
+  Alcotest.(check string) name expected (Sym.to_string actual)
+
+let test_basic () =
+  check "const" "7" (Sym.of_int 7);
+  check "zero" "0" Sym.zero;
+  check "atom" "aa" aa;
+  check "sum" "aa + bb" (Sym.add aa bb);
+  check "constant first" "1 + aa" (Sym.add aa Sym.one);
+  check "cancel" "0" (Sym.sub (Sym.add aa bb) (Sym.add bb aa));
+  check "scale" "2 + 2*aa" (Sym.scale (Rat.of_int 2) (Sym.add aa Sym.one));
+  check "neg" "-1 - aa" (Sym.neg (Sym.add aa Sym.one));
+  check "rational coeff" "1/2*aa" (Sym.scale (Rat.of_ints 1 2) aa)
+
+let test_mul () =
+  check "product" "aa*bb" (Sym.mul aa bb);
+  check "square" "aa^2" (Sym.mul aa aa);
+  check "binomial" "1 + 2*aa + aa^2" (Sym.mul (Sym.add aa Sym.one) (Sym.add aa Sym.one));
+  check "diff of squares" "-1 + aa^2" (Sym.mul (Sym.add aa Sym.one) (Sym.sub aa Sym.one));
+  check "pow" "1 + 3*aa + 3*aa^2 + aa^3" (Sym.pow (Sym.add aa Sym.one) 3);
+  check "mul by zero" "0" (Sym.mul aa Sym.zero)
+
+let test_const_view () =
+  Alcotest.(check (option int)) "const int" (Some 5) (Sym.const_int (Sym.of_int 5));
+  Alcotest.(check (option int)) "non const" None (Sym.const_int aa);
+  Alcotest.(check bool) "is_const" true (Sym.is_const (Sym.of_rat (Rat.of_ints 1 2)));
+  Alcotest.(check (option int)) "half is not an int" None
+    (Sym.const_int (Sym.of_rat (Rat.of_ints 1 2)))
+
+let test_eval () =
+  let lookup = function
+    | Sym.Param x when Ir.Ident.name x = "aa" -> Some (Rat.of_int 10)
+    | Sym.Param x when Ir.Ident.name x = "bb" -> Some (Rat.of_int 3)
+    | _ -> None
+  in
+  let e = Sym.add (Sym.mul aa aa) (Sym.scale (Rat.of_int 2) bb) in
+  (match Sym.eval lookup e with
+   | Some v -> Alcotest.(check string) "eval" "106" (Rat.to_string v)
+   | None -> Alcotest.fail "eval failed");
+  Alcotest.(check bool) "unknown atom" true (Sym.eval lookup (Sym.add e cc) = None)
+
+let test_subst () =
+  (* aa := bb + 1 in aa^2 gives bb^2 + 2bb + 1. *)
+  let lookup = function
+    | Sym.Param x when Ir.Ident.name x = "aa" -> Some (Sym.add bb Sym.one)
+    | _ -> None
+  in
+  check "subst" "1 + 2*bb + bb^2" (Sym.subst lookup (Sym.mul aa aa))
+
+let test_atoms_degree () =
+  let e = Sym.add (Sym.mul aa (Sym.mul bb bb)) cc in
+  Alcotest.(check int) "atom count" 3 (List.length (Sym.atoms e));
+  let batom = List.hd (Sym.atoms bb) in
+  Alcotest.(check int) "degree in bb" 2 (Sym.degree_in batom e);
+  let aatom = List.hd (Sym.atoms aa) in
+  Alcotest.(check int) "degree in aa" 1 (Sym.degree_in aatom e)
+
+(* --- properties --- *)
+
+let gen_sym =
+  let open QCheck2.Gen in
+  let atom = oneofl [ aa; bb; cc ] in
+  let rec expr depth =
+    if depth = 0 then oneof [ atom; map Sym.of_int (int_range (-5) 5) ]
+    else
+      oneof
+        [
+          atom;
+          map Sym.of_int (int_range (-5) 5);
+          map2 Sym.add (expr (depth - 1)) (expr (depth - 1));
+          map2 Sym.mul (expr (depth - 1)) (expr (depth - 1));
+          map Sym.neg (expr (depth - 1));
+        ]
+  in
+  expr 3
+
+let prop_add_comm =
+  Helpers.qtest "add commutes" QCheck2.Gen.(pair gen_sym gen_sym) (fun (a, b) ->
+      Sym.equal (Sym.add a b) (Sym.add b a))
+
+let prop_mul_comm =
+  Helpers.qtest "mul commutes" QCheck2.Gen.(pair gen_sym gen_sym) (fun (a, b) ->
+      Sym.equal (Sym.mul a b) (Sym.mul b a))
+
+let prop_distrib =
+  Helpers.qtest ~count:100 "distributivity" QCheck2.Gen.(triple gen_sym gen_sym gen_sym)
+    (fun (a, b, sc) ->
+      Sym.equal (Sym.mul a (Sym.add b sc)) (Sym.add (Sym.mul a b) (Sym.mul a sc)))
+
+let prop_eval_homomorphic =
+  (* Evaluating after an operation = operating on evaluations. *)
+  Helpers.qtest ~count:150 "eval is a homomorphism"
+    QCheck2.Gen.(
+      triple gen_sym gen_sym
+        (triple (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9)))
+    (fun (a, b, (va_, vb_, vc_)) ->
+      let lookup = function
+        | Sym.Param x when Ir.Ident.name x = "aa" -> Some (Rat.of_int va_)
+        | Sym.Param x when Ir.Ident.name x = "bb" -> Some (Rat.of_int vb_)
+        | Sym.Param x when Ir.Ident.name x = "cc" -> Some (Rat.of_int vc_)
+        | _ -> None
+      in
+      match (Sym.eval lookup a, Sym.eval lookup b) with
+      | Some va, Some vb ->
+        Sym.eval lookup (Sym.add a b) = Some (Rat.add va vb)
+        && Sym.eval lookup (Sym.mul a b) = Some (Rat.mul va vb)
+      | _ -> false)
+
+let prop_canonical_equal =
+  (* Structural equality is semantic equality for our generators: two
+     different association orders normalize identically. *)
+  Helpers.qtest "associativity normalizes" QCheck2.Gen.(triple gen_sym gen_sym gen_sym)
+    (fun (a, b, sc) ->
+      Sym.equal (Sym.add a (Sym.add b sc)) (Sym.add (Sym.add a b) sc)
+      && Sym.equal (Sym.mul a (Sym.mul b sc)) (Sym.mul (Sym.mul a b) sc))
+
+let suite =
+  ( "sym",
+    [
+      Helpers.case "basics" test_basic;
+      Helpers.case "multiplication" test_mul;
+      Helpers.case "constant views" test_const_view;
+      Helpers.case "evaluation" test_eval;
+      Helpers.case "substitution" test_subst;
+      Helpers.case "atoms and degrees" test_atoms_degree;
+      prop_add_comm;
+      prop_mul_comm;
+      prop_distrib;
+      prop_eval_homomorphic;
+      prop_canonical_equal;
+    ] )

@@ -1,0 +1,98 @@
+(* Tarjan SCC: correctness versus a naive reference, and the emission
+   order the classifier relies on. *)
+
+module Tarjan = Analysis.Tarjan
+
+let graph_of_edges n edges =
+  let succ = Array.make n [] in
+  List.iter (fun (a, b) -> succ.(a) <- b :: succ.(a)) edges;
+  { Tarjan.vertices = List.init n (fun i -> i); edges = (fun v -> succ.(v)); key = Fun.id }
+
+let norm comps = List.sort compare (List.map (List.sort compare) comps)
+
+let test_known () =
+  (* Two 2-cycles and a bridge. *)
+  let g = graph_of_edges 5 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (3, 4) ] in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ]
+    (norm (Tarjan.sccs g))
+
+let test_self_loop () =
+  let g = graph_of_edges 2 [ (0, 0); (0, 1) ] in
+  Alcotest.(check (list (list int))) "self loop" [ [ 0 ]; [ 1 ] ] (norm (Tarjan.sccs g));
+  Alcotest.(check bool) "0 not trivial" false (Tarjan.is_trivial g [ 0 ]);
+  Alcotest.(check bool) "1 trivial" true (Tarjan.is_trivial g [ 1 ])
+
+let test_emission_order () =
+  (* Edges point to operands: when an SCC is emitted, every SCC it can
+     reach must already have been emitted. *)
+  let g =
+    graph_of_edges 7 [ (0, 1); (1, 2); (2, 0); (0, 3); (3, 4); (4, 3); (2, 5); (5, 6) ]
+  in
+  let comps = Tarjan.sccs g in
+  let emitted = Hashtbl.create 8 in
+  List.iter
+    (fun comp ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun s ->
+              if not (List.mem s comp) then
+                Alcotest.(check bool)
+                  (Printf.sprintf "successor %d of %d emitted first" s v)
+                  true (Hashtbl.mem emitted s))
+            (g.Tarjan.edges v))
+        comp;
+      List.iter (fun v -> Hashtbl.replace emitted v ()) comp)
+    comps
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 15 in
+    let* edges =
+      list_size (int_range 0 40) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (n, edges))
+
+let prop_matches_naive =
+  Helpers.qtest ~count:200 "matches naive SCC" gen_graph (fun (n, edges) ->
+      let g = graph_of_edges n edges in
+      norm (Tarjan.sccs g) = norm (Tarjan.sccs_naive g))
+
+let prop_partition =
+  Helpers.qtest ~count:200 "components partition the vertices" gen_graph
+    (fun (n, edges) ->
+      let g = graph_of_edges n edges in
+      let all = List.concat (Tarjan.sccs g) in
+      List.sort compare all = List.init n Fun.id)
+
+let prop_emission_topological =
+  Helpers.qtest ~count:200 "emission is operands-first" gen_graph (fun (n, edges) ->
+      let g = graph_of_edges n edges in
+      let comps = Tarjan.sccs g in
+      let emitted = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun comp ->
+          List.iter
+            (fun v ->
+              List.iter
+                (fun s ->
+                  if (not (List.mem s comp)) && not (Hashtbl.mem emitted s) then
+                    ok := false)
+                (g.Tarjan.edges v))
+            comp;
+          List.iter (fun v -> Hashtbl.replace emitted v ()) comp)
+        comps;
+      !ok)
+
+let suite =
+  ( "tarjan",
+    [
+      Helpers.case "known graph" test_known;
+      Helpers.case "self loops" test_self_loop;
+      Helpers.case "emission order" test_emission_order;
+      prop_matches_naive;
+      prop_partition;
+      prop_emission_topological;
+    ] )
