@@ -1,0 +1,17 @@
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# One fast pass over the service batch path (experiment B1 only).
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+clean:
+	dune clean

@@ -435,12 +435,151 @@ let run_benchmarks () =
     (List.map (fun t -> Test.make_grouped ~name:"bench" [ t ]) (tests ()));
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Experiment B1: service batch throughput                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch-analyze a synthetic corpus through lib/service: 1 domain vs N
+   domains, cold cache vs warm cache. Wall-clock times (monotonic
+   enough at these durations: Unix.gettimeofday), plus the engine's own
+   cache counters. Results go to stdout as a table and to
+   BENCH_service.json for machine consumption. *)
+
+let b1_corpus n =
+  List.init n (fun i ->
+      let source =
+        match i mod 4 with
+        | 0 -> straightline_loop (8 + (i mod 7))
+        | 1 -> chain_loop (4 + (i mod 5))
+        | 2 -> forward_chain_loop (4 + (i mod 5))
+        | _ ->
+          Printf.sprintf
+            "j = 0\nL19: for i = 1 to n loop\n  j = j + i\n  L20: for k = 1 to %d loop\n    j = j + 1\n  endloop\nendloop"
+            (1 + (i mod 9))
+      in
+      { Service.Batch.name = Printf.sprintf "gen%03d" i; source })
+
+type b1_run = {
+  domains : int;
+  cache : string; (* "cold" | "warm" *)
+  seconds : float;
+  files_per_sec : float;
+  hits : int;
+  misses : int;
+}
+
+let b1_artifacts = [ Service.Engine.Classify; Service.Engine.Deps; Service.Engine.Trip ]
+
+let b1_time_pass ~domains ~engine items =
+  let t0 = Unix.gettimeofday () in
+  let results = Service.Batch.run ~domains ~engine ~artifacts:b1_artifacts items in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun ((item : Service.Batch.item), r) ->
+      match r with
+      | Ok _ -> ()
+      | Error msg -> failwith (Printf.sprintf "B1: %s failed: %s" item.name msg))
+    results;
+  dt
+
+let b1_runs ~corpus_size ~reps ~domain_counts =
+  let items = b1_corpus corpus_size in
+  let n = float_of_int corpus_size in
+  List.concat_map
+    (fun domains ->
+      (* Best-of-[reps], with a fresh engine per cold rep so the cold
+         measurement never sees a warm cache. *)
+      let best f =
+        List.fold_left (fun acc _ -> Float.min acc (f ())) infinity
+          (List.init reps Fun.id)
+      in
+      let last_engine = ref (Service.Engine.create ~capacity:4096 ()) in
+      let cold =
+        best (fun () ->
+            last_engine := Service.Engine.create ~capacity:4096 ();
+            b1_time_pass ~domains ~engine:!last_engine items)
+      in
+      let cold_stats = Service.Engine.cache_stats !last_engine in
+      let warm = best (fun () -> b1_time_pass ~domains ~engine:!last_engine items) in
+      let warm_stats = Service.Engine.cache_stats !last_engine in
+      [
+        {
+          domains;
+          cache = "cold";
+          seconds = cold;
+          files_per_sec = n /. cold;
+          hits = cold_stats.Service.Cache.hits;
+          misses = cold_stats.Service.Cache.misses;
+        };
+        {
+          domains;
+          cache = "warm";
+          seconds = warm;
+          files_per_sec = n /. warm;
+          hits = warm_stats.Service.Cache.hits - cold_stats.Service.Cache.hits;
+          misses = warm_stats.Service.Cache.misses - cold_stats.Service.Cache.misses;
+        };
+      ])
+    domain_counts
+
+let b1_json ~corpus_size runs =
+  let run_json r =
+    Printf.sprintf
+      "    {\"domains\": %d, \"cache\": \"%s\", \"seconds\": %.6f, \"files_per_sec\": %.1f, \"cache_hits\": %d, \"cache_misses\": %d}"
+      r.domains r.cache r.seconds r.files_per_sec r.hits r.misses
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"experiment\": \"B1\",";
+      "  \"description\": \"service batch throughput: 1 vs N domains, cold vs warm cache\",";
+      Printf.sprintf "  \"corpus_files\": %d," corpus_size;
+      "  \"artifacts\": [\"classify\", \"deps\", \"trip\"],";
+      "  \"runs\": [";
+      String.concat ",\n" (List.map run_json runs);
+      "  ]";
+      "}";
+      "";
+    ]
+
+let experiment_b1 ~smoke () =
+  print_endline "== Experiment B1: service batch throughput (lib/service) ==";
+  let corpus_size = if smoke then 8 else 48 in
+  let reps = if smoke then 1 else 3 in
+  (* Always measure a multi-domain row, even on one-core machines
+     (no speedup there, but the parallel path stays exercised). *)
+  let parallel = max 4 (Service.Pool.default_domains ~cap:4 ()) in
+  let domain_counts = [ 1; parallel ] in
+  let runs = b1_runs ~corpus_size ~reps ~domain_counts in
+  Printf.printf "   corpus: %d generated programs x %d artifacts; best of %d\n"
+    corpus_size (List.length b1_artifacts) reps;
+  List.iter
+    (fun r ->
+      Printf.printf "  domains=%d %-4s %8.4fs %8.1f files/s  hits=%d misses=%d\n"
+        r.domains r.cache r.seconds r.files_per_sec r.hits r.misses)
+    runs;
+  let json = b1_json ~corpus_size runs in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "   wrote BENCH_service.json";
+  print_newline ()
+
 let () =
-  print_reproductions ();
-  print_trip_counts ();
-  print_dependence_repro ();
-  print_generality ();
-  print_ablations ();
-  print_pass_counts ();
-  run_benchmarks ();
-  print_endline "bench: done"
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if smoke then begin
+    (* `make bench-smoke`: one fast pass over the batch path only. *)
+    experiment_b1 ~smoke:true ();
+    print_endline "bench: done (smoke)"
+  end
+  else begin
+    print_reproductions ();
+    print_trip_counts ();
+    print_dependence_repro ();
+    print_generality ();
+    print_ablations ();
+    print_pass_counts ();
+    experiment_b1 ~smoke:false ();
+    run_benchmarks ();
+    print_endline "bench: done"
+  end

@@ -1,32 +1,62 @@
 (* ivtool: command-line driver for the Beyond-Induction-Variables
    analyses.
 
+   One-shot analyses (input is the paper's structured loop language;
+   see README.md):
+
      ivtool parse     FILE   — parse and pretty-print the program
      ivtool cfg       FILE   — dump the lowered CFG
      ivtool ssa       FILE   — dump the SSA form
      ivtool classify  FILE   — per-loop variable classification report
      ivtool deps      FILE   — data dependence graph
+     ivtool trip      FILE   — per-loop trip counts
      ivtool baseline  FILE   — classical (dragon book) IV detection
      ivtool sccp      FILE   — conditional constant propagation summary
      ivtool normalize FILE   — print the loop-normalized program
      ivtool run       FILE   — interpret (bounded) and dump array state
 
-   Input is the paper's structured loop language; see README.md. *)
+   Service mode (lib/service: content-addressed cache + domain pool):
+
+     ivtool batch FILES...   — analyze a corpus in parallel
+     ivtool serve            — persistent line protocol on stdin/stdout
+
+   Exit codes: 0 success; 1 usage error (unknown subcommand, bad flags,
+   missing input file); 2 parse or analysis error. All diagnostics are
+   routed through one reporter on stderr. *)
+
+(* --- the one error reporter --- *)
+
+exception Fatal of int * string
+
+(* Parse/analysis failures exit 2; usage problems exit 1 (cmdliner's
+   own CLI errors are remapped to 1 in [main] below). *)
+let fatal code fmt = Printf.ksprintf (fun msg -> raise (Fatal (code, msg))) fmt
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | src -> src
+  | exception Sys_error msg -> fatal 2 "%s" msg
 
-let parse_or_exit src =
+let parse_or_fail src =
   match Ir.Parser.parse_result src with
   | Ok p -> p
-  | Error msg ->
-    prerr_endline msg;
-    exit 1
+  | Error msg -> fatal 2 "%s" msg
 
-let with_source file f = f (parse_or_exit (read_file file))
+let with_source file f = f (parse_or_fail (read_file file))
+
+let engine_of ~no_sccp ?(cache_size = 256) () =
+  Service.Engine.create ~capacity:cache_size
+    ~options:{ Service.Engine.use_sccp = not no_sccp }
+    ()
+
+let render_or_fail r = match r with Ok s -> print_string s | Error msg -> fatal 2 "%s" msg
+
+(* --- one-shot commands --- *)
 
 let cmd_parse file =
   with_source file (fun p -> print_endline (Ir.Ast.to_string p))
@@ -39,22 +69,23 @@ let cmd_ssa file =
       let ssa = Ir.Ssa.of_program p in
       (match Ir.Ssa.check ssa with
        | [] -> ()
-       | errs ->
-         List.iter prerr_endline errs;
-         exit 2);
+       | errs -> fatal 2 "%s" (String.concat "\n" errs));
       print_endline (Ir.Ssa.to_string ssa))
 
+(* classify/deps/trip run through the service engine, so the CLI and
+   `ivtool serve` render byte-identical reports from one code path. *)
+
 let cmd_classify no_sccp file =
-  with_source file (fun p ->
-      let t = Analysis.Driver.analyze ~use_sccp:(not no_sccp) (Ir.Ssa.of_program p) in
-      print_string (Analysis.Driver.report t))
+  let engine = engine_of ~no_sccp () in
+  render_or_fail (Service.Engine.classify engine (read_file file))
 
 let cmd_deps file =
-  with_source file (fun p ->
-      let t = Analysis.Driver.analyze (Ir.Ssa.of_program p) in
-      let g = Dependence.Dep_graph.build t in
-      if g = [] then print_endline "no dependences"
-      else print_string (Dependence.Dep_graph.to_string t g))
+  let engine = engine_of ~no_sccp:false () in
+  render_or_fail (Service.Engine.deps engine (read_file file))
+
+let cmd_trip file =
+  let engine = engine_of ~no_sccp:false () in
+  render_or_fail (Service.Engine.trip engine (read_file file))
 
 let cmd_baseline file =
   with_source file (fun p ->
@@ -78,24 +109,6 @@ let cmd_dot_cfg file =
 let cmd_dot_ssa file =
   with_source file (fun p -> print_string (Ir.Dot.ssa_to_dot (Ir.Ssa.of_program p)))
 
-let cmd_trip file =
-  with_source file (fun p ->
-      let t = Analysis.Driver.analyze (Ir.Ssa.of_program p) in
-      let ssa = Analysis.Driver.ssa t in
-      let loops = Ir.Ssa.loops ssa in
-      List.iter
-        (fun (lp : Ir.Loops.loop) ->
-          let trip = Analysis.Driver.trip_count t lp.Ir.Loops.id in
-          Format.printf "loop %-8s trips: %a" lp.Ir.Loops.name
-            (Analysis.Trip_count.pp_with (fun id -> Ir.Ssa.primary_name ssa id))
-            trip;
-          (match Analysis.Trip_count.max_count_int trip with
-           | Some n when Analysis.Trip_count.count_int trip = None ->
-             Format.printf " (at most %d)" n
-           | _ -> ());
-          Format.printf "@.")
-        (Ir.Loops.postorder loops))
-
 let cmd_normalize file =
   with_source file (fun p ->
       print_endline (Ir.Ast.to_string (Transform.Normalize.normalize p)))
@@ -117,7 +130,7 @@ let cmd_interchange outer inner file =
         print_endline "interchange: legal";
         print_endline (Ir.Ast.to_string (Transform.Interchange.apply p ~outer_name:outer))
       | Some false -> print_endline "interchange: illegal (blocking dependence)"
-      | None -> prerr_endline "interchange: loops not found")
+      | None -> fatal 2 "interchange: loops %s/%s not found" outer inner)
 
 let cmd_optimize file =
   with_source file (fun p ->
@@ -152,6 +165,52 @@ let cmd_run fuel seed file =
             v)
         cells)
 
+(* --- service commands --- *)
+
+let parse_artifacts spec =
+  let names =
+    if spec = "all" then [ "classify"; "deps"; "trip" ]
+    else String.split_on_char ',' spec |> List.map String.trim
+         |> List.filter (fun s -> s <> "")
+  in
+  if names = [] then fatal 1 "no artifacts requested";
+  List.map
+    (fun name ->
+      match Service.Engine.artifact_of_string name with
+      | Some a -> a
+      | None -> fatal 1 "unknown artifact %S (expected classify, deps, trip or all)" name)
+    names
+
+let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats files =
+  let artifacts = parse_artifacts artifacts in
+  let engine = engine_of ~no_sccp ~cache_size () in
+  let items =
+    List.map (fun f -> { Service.Batch.name = f; source = read_file f }) files
+  in
+  let results =
+    Service.Batch.run ?timeout_s:timeout ~passes:repeat ~domains:jobs ~engine
+      ~artifacts items
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun ((item : Service.Batch.item), result) ->
+      Printf.printf "== %s ==\n" item.Service.Batch.name;
+      match result with
+      | Ok report -> print_string report
+      | Error msg ->
+        incr failures;
+        Printf.printf "error: %s\n" msg)
+    results;
+  if stats then prerr_string (Service.Engine.stats_report engine);
+  if !failures > 0 then
+    fatal 2 "%d of %d files failed" !failures (List.length results)
+
+let cmd_serve cache_size no_sccp =
+  let engine = engine_of ~no_sccp ~cache_size () in
+  Service.Server.run engine stdin stdout
+
+(* --- command line --- *)
+
 open Cmdliner
 
 let file_arg =
@@ -160,13 +219,16 @@ let file_arg =
 let simple name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ file_arg)
 
+let no_sccp_flag =
+  Arg.(value & flag & info [ "no-sccp" ] ~doc:"Disable constant propagation.")
+
+let cache_size_flag =
+  Arg.(value & opt int 1024 & info [ "cache-size" ] ~doc:"Artifact cache capacity (entries).")
+
 let classify_cmd =
-  let no_sccp =
-    Arg.(value & flag & info [ "no-sccp" ] ~doc:"Disable constant propagation.")
-  in
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify every loop variable (the paper's algorithm).")
-    Term.(const cmd_classify $ no_sccp $ file_arg)
+    Term.(const cmd_classify $ no_sccp_flag $ file_arg)
 
 let peel_cmd =
   let loop_name =
@@ -204,9 +266,46 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret the program and dump final array contents.")
     Term.(const cmd_run $ fuel $ seed $ file_arg)
 
+let batch_cmd =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (1 = sequential).")
+  in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"K"
+             ~doc:"Run the whole batch $(docv) times; later passes hit the cache.")
+  in
+  let artifacts =
+    Arg.(value & opt string "classify"
+         & info [ "artifacts" ] ~docv:"LIST"
+             ~doc:"Comma-separated artifacts: classify, deps, trip, or all.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Cooperative per-file timeout.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Dump cache and timing stats to stderr.")
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc:"Input programs.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Analyze a corpus of programs in parallel through the caching service.")
+    Term.(const cmd_batch $ jobs $ repeat $ artifacts $ timeout $ cache_size_flag
+          $ no_sccp_flag $ stats $ files)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve CLASSIFY/DEPS/TRIP/STATS requests over stdin/stdout (see docs/SERVICE.md).")
+    Term.(const cmd_serve $ cache_size_flag $ no_sccp_flag)
+
 let () =
   let info =
-    Cmd.info "ivtool" ~version:"1.0.0"
+    Cmd.info "ivtool" ~version:"1.1.0"
       ~doc:"Induction-variable classification beyond linear IVs (Wolfe, PLDI 1992)."
   in
   let cmds =
@@ -228,6 +327,20 @@ let () =
       peel_cmd;
       interchange_cmd;
       run_cmd;
+      batch_cmd;
+      serve_cmd;
     ]
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  let exit_code =
+    match Cmd.eval_value ~catch:false (Cmd.group info cmds) with
+    | Ok (`Ok ()) | Ok `Version | Ok `Help -> 0
+    | Error (`Parse | `Term) -> 1 (* cmdliner already printed the usage error *)
+    | Error `Exn -> 125
+    | exception Fatal (code, msg) ->
+      Printf.eprintf "ivtool: error: %s\n%!" msg;
+      code
+    | exception e ->
+      Printf.eprintf "ivtool: internal error: %s\n%!" (Printexc.to_string e);
+      125
+  in
+  exit exit_code

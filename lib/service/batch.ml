@@ -1,0 +1,47 @@
+type item = { name : string; source : string }
+
+let ensure_nl s =
+  if s = "" || s.[String.length s - 1] = '\n' then s else s ^ "\n"
+
+let report engine ~artifacts item =
+  match artifacts with
+  | [] -> invalid_arg "Batch.report: no artifacts requested"
+  | [ a ] -> Result.map ensure_nl (Engine.render engine a item.source)
+  | artifacts ->
+    let rec go buf = function
+      | [] -> Ok (Buffer.contents buf)
+      | a :: rest -> (
+        match Engine.render engine a item.source with
+        | Error msg -> Error msg
+        | Ok text ->
+          Buffer.add_string buf
+            (Printf.sprintf "-- %s --\n" (Engine.artifact_to_string a));
+          Buffer.add_string buf (ensure_nl text);
+          go buf rest)
+    in
+    go (Buffer.create 256) artifacts
+
+let run ?timeout_s ?(passes = 1) ~domains ~engine ~artifacts items =
+  let metrics = Engine.metrics engine in
+  let depth = Metrics.gauge metrics "pool.queue_depth" in
+  let items_counter = Metrics.counter metrics "batch.items" in
+  let passes_counter = Metrics.counter metrics "batch.passes" in
+  let arr = Array.of_list items in
+  let one_pass () =
+    Metrics.incr passes_counter;
+    Metrics.incr ~by:(Array.length arr) items_counter;
+    Pool.map ?timeout_s ~queue_depth:(Metrics.set_gauge depth) ~domains
+      (fun item -> report engine ~artifacts item)
+      arr
+  in
+  let rec go n last = if n <= 0 then last else go (n - 1) (one_pass ()) in
+  let outcomes = go (max 1 passes) [||] in
+  List.mapi
+    (fun i item ->
+      let result =
+        match outcomes.(i) with
+        | Pool.Done r -> r
+        | o -> ( match Pool.to_result o with Ok r -> r | Error msg -> Error msg)
+      in
+      (item, result))
+    items

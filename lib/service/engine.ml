@@ -1,0 +1,133 @@
+(* Content-addressed memoization of the analysis pipeline. *)
+
+type options = { use_sccp : bool }
+
+let default_options = { use_sccp = true }
+
+type artifact = Classify | Deps | Trip
+
+let artifact_to_string = function
+  | Classify -> "classify"
+  | Deps -> "deps"
+  | Trip -> "trip"
+
+let artifact_of_string = function
+  | "classify" -> Some Classify
+  | "deps" -> Some Deps
+  | "trip" -> Some Trip
+  | _ -> None
+
+(* One cache holds both the driver and the rendered reports; the
+   artifact tag in the key keeps them apart. *)
+type value = V_driver of Analysis.Driver.t | V_text of string
+
+type t = {
+  options : options;
+  cache : (Digest.t, (value, string) result) Cache.t;
+  metrics : Metrics.t;
+}
+
+let create ?(capacity = 256) ?(options = default_options) () =
+  { options; cache = Cache.create ~capacity (); metrics = Metrics.create () }
+
+let options t = t.options
+let metrics t = t.metrics
+let cache_stats t = Cache.stats t.cache
+
+let key t tag src =
+  Digest.feed_bool (Digest.of_strings [ tag; src ]) t.options.use_sccp
+
+(* -- the pipeline, with per-phase timings and timeout ticks -- *)
+
+let compute_driver t src : (value, string) result =
+  match Metrics.time t.metrics "phase.parse" (fun () -> Ir.Parser.parse_result src) with
+  | Error msg -> Error msg
+  | Ok prog ->
+    Pool.tick ();
+    let ssa = Metrics.time t.metrics "phase.ssa" (fun () -> Ir.Ssa.of_program prog) in
+    (match Ir.Ssa.check ssa with
+     | [] ->
+       Pool.tick ();
+       let d =
+         Metrics.time t.metrics "phase.classify" (fun () ->
+             Analysis.Driver.analyze ~use_sccp:t.options.use_sccp ssa)
+       in
+       Pool.tick ();
+       Ok (V_driver d)
+     | errs -> Error (String.concat "\n" errs))
+
+let analyze t src : (Analysis.Driver.t, string) result =
+  Metrics.incr (Metrics.counter t.metrics "requests.analyze");
+  match Cache.find_or_add t.cache (key t "analyze" src) (fun () -> compute_driver t src) with
+  | Ok (V_driver d) -> Ok d
+  | Ok (V_text _) -> assert false
+  | Error msg -> Error msg
+
+(* -- report renderers (shared by ivtool and the server) -- *)
+
+let render_classify d = Analysis.Driver.report d
+
+let render_trip d =
+  let ssa = Analysis.Driver.ssa d in
+  let loops = Ir.Ssa.loops ssa in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (lp : Ir.Loops.loop) ->
+      let trip = Analysis.Driver.trip_count d lp.Ir.Loops.id in
+      Format.fprintf fmt "loop %-8s trips: %a" lp.Ir.Loops.name
+        (Analysis.Trip_count.pp_with (fun id -> Ir.Ssa.primary_name ssa id))
+        trip;
+      (match Analysis.Trip_count.max_count_int trip with
+       | Some n when Analysis.Trip_count.count_int trip = None ->
+         Format.fprintf fmt " (at most %d)" n
+       | _ -> ());
+      Format.fprintf fmt "@.")
+    (Ir.Loops.postorder loops);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let render t artifact src : (string, string) result =
+  let tag = artifact_to_string artifact in
+  Metrics.incr (Metrics.counter t.metrics ("requests." ^ tag));
+  match
+    Cache.find_or_add t.cache (key t tag src) (fun () ->
+        match analyze t src with
+        | Error msg -> Error msg
+        | Ok d ->
+          Pool.tick ();
+          let text =
+            match artifact with
+            | Classify -> render_classify d
+            | Deps ->
+              Metrics.time t.metrics "phase.deps" (fun () ->
+                  let g = Dependence.Dep_graph.build d in
+                  if g = [] then "no dependences\n"
+                  else Dependence.Dep_graph.to_string d g)
+            | Trip -> render_trip d
+          in
+          Ok (V_text text))
+  with
+  | Ok (V_text s) -> Ok s
+  | Ok (V_driver _) -> assert false
+  | Error msg -> Error msg
+
+let classify t src = render t Classify src
+let deps t src = render t Deps src
+let trip t src = render t Trip src
+
+let invalidate t src =
+  List.fold_left
+    (fun acc tag -> if Cache.invalidate t.cache (key t tag src) then acc + 1 else acc)
+    0
+    [ "analyze"; "classify"; "deps"; "trip" ]
+
+let clear t =
+  Cache.clear t.cache;
+  Cache.reset_stats t.cache;
+  Metrics.reset t.metrics
+
+let stats_report t =
+  Printf.sprintf "cache: %s\n%s\n"
+    (Cache.stats_to_string (cache_stats t))
+    (Metrics.dump t.metrics)

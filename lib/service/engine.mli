@@ -1,0 +1,61 @@
+(** The memoizing analysis engine.
+
+    An engine owns one {!Cache} and one {!Metrics} registry and serves
+    the repository's analyses over raw source text. Artifacts are
+    content-addressed: the cache key is a {!Digest} of the source text,
+    the analysis options, and the artifact kind, so the same source
+    analyzed under different options occupies distinct entries, and a
+    re-submitted source is a pure cache hit.
+
+    Memoized artifacts:
+    - the whole-program {!Analysis.Driver.t} (the expensive step:
+      parse → CFG → SSA → SCCP → classification → trip counts);
+    - the [classify], [deps] and [trip] text reports derived from it.
+
+    Phase timings (parse/ssa/classify/deps) are recorded in the metrics
+    registry, and {!Pool.tick} is called between phases so pooled tasks
+    honor cooperative timeouts. One engine may be shared by all domains
+    of a {!Pool}. *)
+
+type options = { use_sccp : bool }
+
+val default_options : options
+
+type artifact = Classify | Deps | Trip
+
+val artifact_to_string : artifact -> string
+val artifact_of_string : string -> artifact option
+
+type t
+
+(** [create ~capacity ~options ()] — [capacity] bounds the artifact
+    cache (default 256 entries). *)
+val create : ?capacity:int -> ?options:options -> unit -> t
+
+val options : t -> options
+val metrics : t -> Metrics.t
+val cache_stats : t -> Cache.stats
+
+(** The memoized whole-program analysis. [Error] carries the parse (or
+    SSA-construction) diagnostic; errors are cached too, so a corpus
+    with a malformed member does not re-parse it on every batch pass. *)
+val analyze : t -> string -> (Analysis.Driver.t, string) result
+
+(** [render t artifact src] is the memoized text report. *)
+val render : t -> artifact -> string -> (string, string) result
+
+val classify : t -> string -> (string, string) result
+val deps : t -> string -> (string, string) result
+val trip : t -> string -> (string, string) result
+
+(** [invalidate t src] drops every cached artifact derived from [src]
+    (under the engine's options); returns how many entries were
+    removed. *)
+val invalidate : t -> string -> int
+
+(** Drop every cache entry and reset metrics. *)
+val clear : t -> unit
+
+(** Cache statistics plus the metrics dump, as text — the [STATS]
+    payload. *)
+val stats_report : t -> string

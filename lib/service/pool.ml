@@ -1,0 +1,63 @@
+(* Work-stealing-free work queue: an atomic next-index into the task
+   array. Results land in a per-index slot, so output order is input
+   order whatever the interleaving. *)
+
+exception Timeout
+
+type 'b outcome = Done of 'b | Failed of string | Timed_out of float
+
+(* The current task's absolute deadline (epoch seconds), per domain. *)
+let deadline : float option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let tick () =
+  match Domain.DLS.get deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Timeout
+  | _ -> ()
+
+let run_task ?timeout_s f task =
+  let t0 = Unix.gettimeofday () in
+  Domain.DLS.set deadline (Option.map (fun s -> t0 +. s) timeout_s);
+  let outcome =
+    try Done (f task) with
+    | Timeout -> Timed_out (Unix.gettimeofday () -. t0)
+    | e -> Failed (Printexc.to_string e)
+  in
+  Domain.DLS.set deadline None;
+  outcome
+
+let map ?timeout_s ?queue_depth ~domains f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n (Failed "task never ran") in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match queue_depth with
+         | Some g -> g (max 0 (n - i - 1))
+         | None -> ());
+        results.(i) <- run_task ?timeout_s f tasks.(i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let d = max 1 (min domains n) in
+  if d <= 1 then worker ()
+  else begin
+    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  results
+
+let map_list ?timeout_s ?queue_depth ~domains f tasks =
+  Array.to_list (map ?timeout_s ?queue_depth ~domains f (Array.of_list tasks))
+
+let to_result = function
+  | Done x -> Ok x
+  | Failed msg -> Error ("task failed: " ^ msg)
+  | Timed_out s -> Error (Printf.sprintf "task timed out after %.3fs" s)
+
+let default_domains ?(cap = 8) () =
+  max 1 (min cap (Domain.recommended_domain_count ()))

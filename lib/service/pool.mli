@@ -1,0 +1,56 @@
+(** A parallel batch engine on OCaml 5 domains.
+
+    [map ~domains f tasks] runs [f] over [tasks] on up to [domains]
+    workers pulling from a shared queue, and returns one {!outcome} per
+    task {e in input order} — results are deterministic regardless of
+    worker count or scheduling.
+
+    Failure isolation: an exception escaping one task is captured as
+    [Failed] for that task only; the rest of the batch proceeds.
+
+    Timeouts are cooperative — domains cannot be killed. When
+    [timeout_s] is given, each task gets a per-domain deadline;
+    long-running task code (the analysis engine does this between
+    pipeline phases) calls {!tick}, which raises {!Timeout} once the
+    deadline has passed, and the task is reported as [Timed_out]. A task
+    that never ticks simply cannot time out. *)
+
+exception Timeout
+
+type 'b outcome =
+  | Done of 'b
+  | Failed of string  (** the escaping exception, printed *)
+  | Timed_out of float  (** elapsed seconds when the task gave up *)
+
+(** [tick ()] raises {!Timeout} if the current task's deadline has
+    passed. A no-op outside a pool task or when no timeout was set. *)
+val tick : unit -> unit
+
+(** [map ?timeout_s ?queue_depth ~domains f tasks]. [domains] is clamped
+    to [1 .. length tasks]; with [domains = 1] everything runs on the
+    calling domain (no spawn). [queue_depth], when given, is called with
+    the number of not-yet-started tasks each time a worker dequeues —
+    feed it a {!Metrics.gauge}. *)
+val map :
+  ?timeout_s:float ->
+  ?queue_depth:(int -> unit) ->
+  domains:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array
+
+(** List version of {!map}. *)
+val map_list :
+  ?timeout_s:float ->
+  ?queue_depth:(int -> unit) ->
+  domains:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome list
+
+(** [Done x -> Ok x], otherwise [Error message]. *)
+val to_result : 'b outcome -> ('b, string) result
+
+(** A sensible worker count for this machine: the domain's recommended
+    parallelism, capped at [cap] (default 8). *)
+val default_domains : ?cap:int -> unit -> int

@@ -1,0 +1,78 @@
+(* Line-delimited protocol driver. Replies are byte-counted so clients
+   can frame multi-line payloads without sentinels. *)
+
+type reply = Ok_payload of string | Err of string | Bye
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_file path f =
+  match read_file path with
+  | src -> f src
+  | exception Sys_error msg -> Err msg
+
+let artifact_reply engine artifact path =
+  with_file path (fun src ->
+      match Engine.render engine artifact src with
+      | Ok text -> Ok_payload text
+      | Error msg -> Err msg)
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, None)
+  | Some i ->
+    let arg = String.trim (String.sub line i (String.length line - i)) in
+    (String.sub line 0 i, (if arg = "" then None else Some arg))
+
+let handle engine line =
+  let line = String.trim line in
+  match split_command line with
+  | "", None -> Err "empty request"
+  | "QUIT", None -> Bye
+  | "STATS", None -> Ok_payload (Engine.stats_report engine)
+  | "RESET", None ->
+    Engine.clear engine;
+    Ok_payload "reset\n"
+  | "INVALIDATE", Some path ->
+    with_file path (fun src ->
+        Ok_payload (Printf.sprintf "invalidated %d\n" (Engine.invalidate engine src)))
+  | (("CLASSIFY" | "DEPS" | "TRIP") as cmd), Some path ->
+    let artifact =
+      match cmd with
+      | "CLASSIFY" -> Engine.Classify
+      | "DEPS" -> Engine.Deps
+      | _ -> Engine.Trip
+    in
+    artifact_reply engine artifact path
+  | (("CLASSIFY" | "DEPS" | "TRIP" | "INVALIDATE") as cmd), None ->
+    Err (cmd ^ " needs a file argument")
+  | (("QUIT" | "STATS" | "RESET") as cmd), Some _ ->
+    Err (cmd ^ " takes no argument")
+  | cmd, _ -> Err ("unknown command " ^ cmd)
+
+let reply_to_string = function
+  | Ok_payload payload ->
+    Printf.sprintf "OK %d\n%s" (String.length payload) payload
+  | Err msg ->
+    (* Keep the reply one line whatever the diagnostic contains. *)
+    let msg = String.map (function '\n' | '\r' -> ' ' | c -> c) msg in
+    Printf.sprintf "ERR %s\n" msg
+  | Bye -> "BYE\n"
+
+let run engine ic oc =
+  let requests = Metrics.counter (Engine.metrics engine) "server.requests" in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> output_string oc (reply_to_string Bye)
+    | line ->
+      Metrics.incr requests;
+      let reply = try handle engine line with e -> Err (Printexc.to_string e) in
+      output_string oc (reply_to_string reply);
+      flush oc;
+      (match reply with Bye -> () | _ -> loop ())
+  in
+  loop ();
+  flush oc

@@ -1,0 +1,34 @@
+(** The persistent request/response loop behind `ivtool serve`.
+
+    Line-delimited requests, byte-counted replies (see docs/SERVICE.md):
+
+    {v
+    request  := COMMAND [SP ARG] NL
+    COMMAND  := CLASSIFY path | DEPS path | TRIP path
+              | INVALIDATE path | STATS | RESET | QUIT
+    reply    := "OK " nbytes NL payload     (exactly nbytes bytes)
+              | "ERR " message NL
+              | "BYE" NL                    (QUIT / end of input)
+    v}
+
+    Paths are read from the server's filesystem on every request; the
+    cache key is the file's {e content}, so touching a file without
+    changing it still hits, and two identical files share one entry. *)
+
+type reply =
+  | Ok_payload of string  (** sent as [OK <nbytes>\n<payload>] *)
+  | Err of string  (** sent as [ERR <message>\n] *)
+  | Bye  (** sent as [BYE\n]; the loop stops *)
+
+(** [handle engine line] interprets one request line. Pure with respect
+    to the channels — exposed for tests. *)
+val handle : Engine.t -> string -> reply
+
+(** Serialize a reply exactly as [run] writes it. *)
+val reply_to_string : reply -> string
+
+(** [run engine ic oc] serves requests from [ic] until [QUIT] or end of
+    input, flushing [oc] after every reply. I/O or per-request analysis
+    errors are reported as [ERR] replies; the loop only stops on
+    [QUIT]/EOF. *)
+val run : Engine.t -> in_channel -> out_channel -> unit

@@ -137,6 +137,18 @@ let qtest ?(count = 200) name gen prop =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* [contains s sub] — naive substring search, for diagnostics checks. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to n - m do
+      if (not !found) && String.sub s i m = sub then found := true
+    done;
+    !found
+  end
+
 (* Final array contents after interpreting a program: the semantic
    footprint used to validate transformations. *)
 let array_footprint ?(fuel = 200_000) ?(params = fun _ -> 0) ?(rand = fun () -> false)

@@ -35,4 +35,7 @@ let () =
       Test_monotonic_mul.suite;
       Test_banerjee.suite;
       Test_dep_oracle.suite;
+      Test_cache.suite;
+      Test_pool.suite;
+      Test_server.suite;
     ]

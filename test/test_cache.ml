@@ -1,0 +1,128 @@
+(* Service cache: LRU behavior, statistics, invalidation, and the
+   engine's content-addressed keying (same source, different options →
+   different entries). *)
+
+module Cache = Service.Cache
+module Digest = Service.Digest
+module Engine = Service.Engine
+
+let test_hit_miss () =
+  let c = Cache.create ~capacity:4 () in
+  Alcotest.(check (option int)) "cold miss" None (Cache.find c "a");
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Cache.find c "a");
+  let s = Cache.stats c in
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one insertion" 1 s.Cache.insertions
+
+let test_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* Touch "a" so "b" is the LRU entry when "c" arrives. *)
+  ignore (Cache.find c "a");
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions;
+  Alcotest.(check int) "size stays bounded" 2 (Cache.size c)
+
+let test_replace_same_key () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "a" 7;
+  Alcotest.(check (option int)) "replaced" (Some 7) (Cache.find c "a");
+  Alcotest.(check int) "no eviction on replace" 0 (Cache.stats c).Cache.evictions
+
+let test_invalidate_and_clear () =
+  let c = Cache.create ~capacity:8 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Alcotest.(check bool) "invalidate present" true (Cache.invalidate c "a");
+  Alcotest.(check bool) "invalidate absent" false (Cache.invalidate c "a");
+  Alcotest.(check (option int)) "gone" None (Cache.find c "a");
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.size c);
+  Alcotest.(check (option int)) "b gone too" None (Cache.find c "b")
+
+let test_find_or_add () =
+  let c = Cache.create ~capacity:8 () in
+  let computed = ref 0 in
+  let get () =
+    Cache.find_or_add c "k" (fun () ->
+        incr computed;
+        42)
+  in
+  Alcotest.(check int) "computed" 42 (get ());
+  Alcotest.(check int) "cached" 42 (get ());
+  Alcotest.(check int) "computed once" 1 !computed
+
+let test_digest_framing () =
+  (* Length framing: re-splitting the same bytes must change the key. *)
+  let a = Digest.of_strings [ "ab"; "c" ] in
+  let b = Digest.of_strings [ "a"; "bc" ] in
+  Alcotest.(check bool) "no concat collision" false (Digest.equal a b);
+  Alcotest.(check bool) "deterministic" true
+    (Digest.equal (Digest.of_strings [ "x"; "y" ]) (Digest.of_strings [ "x"; "y" ]))
+
+let fig1 = "j = n\nL7: loop\n  i = j + c\n  j = i + k\nendloop\n"
+
+let test_engine_memoizes () =
+  let e = Engine.create () in
+  let r1 = Engine.classify e fig1 in
+  let r2 = Engine.classify e fig1 in
+  Alcotest.(check bool) "both succeed" true (Result.is_ok r1 && Result.is_ok r2);
+  Alcotest.(check bool) "identical" true (r1 = r2);
+  let s = Engine.cache_stats e in
+  (* First call misses the classify key then the analyze key; the
+     second call is one classify hit. *)
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses
+
+let test_same_source_different_options () =
+  (* The options are part of the key: sccp on/off must not share
+     entries, and each engine's first lookup is a miss. *)
+  let on = Engine.create ~options:{ Engine.use_sccp = true } () in
+  let off = Engine.create ~options:{ Engine.use_sccp = false } () in
+  let src = "i = 0\nT: loop\n  i = i + 1\n  if i > 10 exit\nendloop\n" in
+  Alcotest.(check bool) "sccp on ok" true (Result.is_ok (Engine.classify on src));
+  Alcotest.(check bool) "sccp off ok" true (Result.is_ok (Engine.classify off src));
+  Alcotest.(check int) "off engine missed" 0 (Engine.cache_stats off).Cache.hits;
+  (* Directly: the keys differ even over identical text. *)
+  let k b = Digest.feed_bool (Digest.of_strings [ "classify"; src ]) b in
+  Alcotest.(check bool) "keys differ" false (Digest.equal (k true) (k false))
+
+let test_engine_caches_errors () =
+  let e = Engine.create () in
+  let bad = "x = = 1\n" in
+  let r1 = Engine.classify e bad in
+  let r2 = Engine.classify e bad in
+  Alcotest.(check bool) "error" true (Result.is_error r1);
+  Alcotest.(check bool) "same error" true (r1 = r2);
+  Alcotest.(check bool) "error served from cache" true
+    ((Engine.cache_stats e).Cache.hits > 0)
+
+let test_engine_invalidate () =
+  let e = Engine.create () in
+  ignore (Engine.classify e fig1);
+  ignore (Engine.trip e fig1);
+  let removed = Engine.invalidate e fig1 in
+  Alcotest.(check int) "analyze+classify+trip dropped" 3 removed;
+  Alcotest.(check int) "cache empty" 0 (Engine.cache_stats e).Cache.size
+
+let suite =
+  ( "service-cache",
+    [
+      Helpers.case "hit and miss counting" test_hit_miss;
+      Helpers.case "lru eviction order" test_lru_eviction;
+      Helpers.case "replace same key" test_replace_same_key;
+      Helpers.case "invalidate and clear" test_invalidate_and_clear;
+      Helpers.case "find_or_add computes once" test_find_or_add;
+      Helpers.case "digest length framing" test_digest_framing;
+      Helpers.case "engine memoizes reports" test_engine_memoizes;
+      Helpers.case "options are part of the key" test_same_source_different_options;
+      Helpers.case "parse errors are cached" test_engine_caches_errors;
+      Helpers.case "per-source invalidation" test_engine_invalidate;
+    ] )

@@ -1,0 +1,119 @@
+(* Service pool: parallel batches must equal sequential ones element for
+   element, exceptions must be isolated to their task, and cooperative
+   timeouts must surface as Timed_out. *)
+
+module Pool = Service.Pool
+module Batch = Service.Batch
+module Engine = Service.Engine
+
+let sources =
+  [
+    "j = n\nL7: loop\n  i = j + c\n  j = i + k\nendloop\n";
+    "j = 0\nL19: for i = 1 to n loop\n  j = j + i\n  L20: for k = 1 to i loop\n    j = j + 1\n  endloop\nendloop\n";
+    "i = 0\nT: loop\n  i = i + 1\n  if i > 100 exit\nendloop\n";
+    "k = 0\nL15: for i = 1 to n loop\n  F(k) = A(i)\n  if ?? then\n    k = k + 1\n  endif\nendloop\n";
+    "L23: for i = 1 to n loop\n  L24: for j = i + 1 to n loop\n    A(i, j) = A(i - 1, j)\n  endloop\nendloop\n";
+  ]
+
+let unwrap = function
+  | Pool.Done x -> x
+  | Pool.Failed msg -> Alcotest.fail ("unexpected failure: " ^ msg)
+  | Pool.Timed_out s -> Alcotest.fail (Printf.sprintf "unexpected timeout (%.3fs)" s)
+
+let test_parallel_equals_sequential () =
+  let tasks = Array.init 64 (fun i -> i) in
+  let f i = i * i in
+  let seq = Pool.map ~domains:1 f tasks in
+  let par = Pool.map ~domains:4 f tasks in
+  Alcotest.(check (list int))
+    "same results, same order"
+    (Array.to_list (Array.map unwrap seq))
+    (Array.to_list (Array.map unwrap par))
+
+let test_exception_isolation () =
+  let tasks = Array.init 10 (fun i -> i) in
+  let f i = if i = 3 then failwith "boom" else i in
+  let results = Pool.map ~domains:4 f tasks in
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | 3, Pool.Failed msg ->
+        Alcotest.(check bool) "message kept" true
+          (Helpers.contains msg "boom")
+      | 3, _ -> Alcotest.fail "task 3 should fail"
+      | i, r -> Alcotest.(check int) "survivor" i (unwrap r))
+    results
+
+let test_timeout_is_cooperative () =
+  let f = function
+    | `Sleepy ->
+      (* Busy-wait past the deadline, ticking as a long task should. *)
+      let t0 = Unix.gettimeofday () in
+      while Unix.gettimeofday () -. t0 < 0.2 do
+        Pool.tick ()
+      done;
+      0
+    | `Quick -> 1
+  in
+  let results = Pool.map ~timeout_s:0.02 ~domains:2 f [| `Sleepy; `Quick; `Quick |] in
+  (match results.(0) with
+   | Pool.Timed_out _ -> ()
+   | _ -> Alcotest.fail "sleepy task should time out");
+  Alcotest.(check int) "quick unaffected" 1 (unwrap results.(1));
+  Alcotest.(check int) "quick unaffected" 1 (unwrap results.(2))
+
+let test_batch_parallel_equals_sequential () =
+  let items =
+    List.mapi (fun i src -> { Batch.name = Printf.sprintf "p%d" i; source = src }) sources
+  in
+  let artifacts = [ Engine.Classify; Engine.Deps; Engine.Trip ] in
+  let run domains =
+    let engine = Engine.create () in
+    Batch.run ~domains ~engine ~artifacts items
+    |> List.map (fun ((item : Batch.item), r) ->
+           match r with
+           | Ok report -> item.Batch.name ^ "\n" ^ report
+           | Error msg -> Alcotest.fail (item.Batch.name ^ ": " ^ msg))
+  in
+  Alcotest.(check (list string)) "4 workers = sequential" (run 1) (run 4)
+
+let test_batch_isolates_bad_input () =
+  let items =
+    [
+      { Batch.name = "good"; source = List.hd sources };
+      { Batch.name = "bad"; source = "x = = 1\n" };
+      { Batch.name = "also-good"; source = List.nth sources 2 };
+    ]
+  in
+  let engine = Engine.create () in
+  let results = Batch.run ~domains:3 ~engine ~artifacts:[ Engine.Classify ] items in
+  (match results with
+   | [ (_, Ok _); (_, Error msg); (_, Ok _) ] ->
+     Alcotest.(check bool) "parse diagnostic" true
+       (Helpers.contains msg "parse error")
+   | _ -> Alcotest.fail "expected ok/error/ok in input order")
+
+let test_batch_second_pass_hits_cache () =
+  let items =
+    List.mapi (fun i src -> { Batch.name = Printf.sprintf "p%d" i; source = src }) sources
+  in
+  let engine = Engine.create () in
+  let artifacts = [ Engine.Classify; Engine.Trip ] in
+  let r1 = Batch.run ~passes:2 ~domains:4 ~engine ~artifacts items in
+  let stats = Engine.cache_stats engine in
+  Alcotest.(check bool) "all ok" true
+    (List.for_all (fun (_, r) -> Result.is_ok r) r1);
+  (* Pass 2 is pure hits: at least one artifact per item per pass. *)
+  Alcotest.(check bool) "warm pass hits" true
+    (stats.Service.Cache.hits >= List.length items * List.length artifacts)
+
+let suite =
+  ( "service-pool",
+    [
+      Helpers.case "parallel equals sequential" test_parallel_equals_sequential;
+      Helpers.case "a raising task is isolated" test_exception_isolation;
+      Helpers.case "cooperative timeout" test_timeout_is_cooperative;
+      Helpers.case "batch: 4 workers = sequential" test_batch_parallel_equals_sequential;
+      Helpers.case "batch: malformed input is isolated" test_batch_isolates_bad_input;
+      Helpers.case "batch: second pass is cached" test_batch_second_pass_hits_cache;
+    ] )

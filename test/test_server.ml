@@ -1,0 +1,116 @@
+(* Service server: the line protocol, request by request, against a
+   real engine and real files on disk. *)
+
+module Engine = Service.Engine
+module Server = Service.Server
+
+let with_temp_program src f =
+  let path = Filename.temp_file "ivtool_test" ".iv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc src;
+      close_out oc;
+      f path)
+
+let fig1 = "j = n\nL7: loop\n  i = j + c\n  j = i + k\nendloop\n"
+
+let payload = function
+  | Server.Ok_payload s -> s
+  | Server.Err msg -> Alcotest.fail ("unexpected ERR: " ^ msg)
+  | Server.Bye -> Alcotest.fail "unexpected BYE"
+
+let expect_err = function
+  | Server.Err msg -> msg
+  | Server.Ok_payload s -> Alcotest.fail ("unexpected OK: " ^ s)
+  | Server.Bye -> Alcotest.fail "unexpected BYE"
+
+let test_classify_roundtrip () =
+  with_temp_program fig1 (fun path ->
+      let e = Engine.create () in
+      let first = payload (Server.handle e ("CLASSIFY " ^ path)) in
+      Alcotest.(check bool) "report mentions the loop" true
+        (Helpers.contains first "loop L7");
+      let again = payload (Server.handle e ("CLASSIFY " ^ path)) in
+      Alcotest.(check string) "second reply identical" first again;
+      Alcotest.(check bool) "served from cache" true
+        ((Engine.cache_stats e).Service.Cache.hits > 0))
+
+let test_stats_and_reset () =
+  with_temp_program fig1 (fun path ->
+      let e = Engine.create () in
+      ignore (payload (Server.handle e ("TRIP " ^ path)));
+      let stats = payload (Server.handle e "STATS") in
+      Alcotest.(check bool) "stats name the cache" true
+        (Helpers.contains stats "cache:");
+      Alcotest.(check bool) "phase timings present" true
+        (Helpers.contains stats "phase.parse");
+      ignore (payload (Server.handle e "RESET"));
+      Alcotest.(check int) "cache emptied" 0 (Engine.cache_stats e).Service.Cache.size)
+
+let test_errors_and_quit () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "unknown command" true
+    (Helpers.contains (expect_err (Server.handle e "FROB x")) "unknown command");
+  Alcotest.(check bool) "missing argument" true
+    (Helpers.contains (expect_err (Server.handle e "CLASSIFY")) "file argument");
+  Alcotest.(check bool) "missing file" true
+    (Result.is_ok
+       (match Server.handle e "DEPS /nonexistent/program.iv" with
+        | Server.Err _ -> Ok ()
+        | _ -> Error ()));
+  with_temp_program "x = = 1\n" (fun path ->
+      Alcotest.(check bool) "parse diagnostic" true
+        (Helpers.contains
+           (expect_err (Server.handle e ("CLASSIFY " ^ path)))
+           "parse error"));
+  (match Server.handle e "QUIT" with
+   | Server.Bye -> ()
+   | _ -> Alcotest.fail "QUIT should reply BYE")
+
+let test_reply_framing () =
+  Alcotest.(check string) "ok frame" "OK 3\nab\n"
+    (Server.reply_to_string (Server.Ok_payload "ab\n"));
+  Alcotest.(check string) "err frame keeps one line" "ERR a b\n"
+    (Server.reply_to_string (Server.Err "a\nb"));
+  Alcotest.(check string) "bye frame" "BYE\n" (Server.reply_to_string Server.Bye)
+
+let test_run_loop_over_channels () =
+  with_temp_program fig1 (fun path ->
+      let requests =
+        Printf.sprintf "CLASSIFY %s\nSTATS\nQUIT\nCLASSIFY after-quit\n" path
+      in
+      let req_path = Filename.temp_file "ivtool_requests" ".txt" in
+      let out_path = Filename.temp_file "ivtool_replies" ".txt" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove req_path;
+          Sys.remove out_path)
+        (fun () ->
+          let oc = open_out_bin req_path in
+          output_string oc requests;
+          close_out oc;
+          let ic = open_in_bin req_path in
+          let oc = open_out_bin out_path in
+          Server.run (Engine.create ()) ic oc;
+          close_in ic;
+          close_out oc;
+          let ic = open_in_bin out_path in
+          let replies = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Alcotest.(check bool) "starts with OK" true (Helpers.contains replies "OK ");
+          Alcotest.(check bool) "stats served" true (Helpers.contains replies "cache:");
+          Alcotest.(check bool) "stops at QUIT" true
+            (not (Helpers.contains replies "after-quit"));
+          Alcotest.(check bool) "says BYE" true (Helpers.contains replies "BYE\n")))
+
+let suite =
+  ( "service-server",
+    [
+      Helpers.case "classify round-trip hits cache" test_classify_roundtrip;
+      Helpers.case "stats and reset" test_stats_and_reset;
+      Helpers.case "error replies and quit" test_errors_and_quit;
+      Helpers.case "reply framing" test_reply_framing;
+      Helpers.case "run loop over channels" test_run_loop_over_channels;
+    ] )
