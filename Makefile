@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-smoke trace-demo clean
 
 build:
 	dune build
@@ -12,6 +12,14 @@ bench:
 # One fast pass over the service batch path (experiment B1 only).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# The observability tour (docs/OBSERVABILITY.md): traced parallel batch
+# over the example corpus, trace validation, one provenance report.
+trace-demo:
+	dune exec bin/ivtool.exe -- batch -j 2 --artifacts all --repeat 2 \
+	  --trace trace_demo.json --trace-summary examples/programs/*.iv
+	dune exec bin/ivtool.exe -- trace-check trace_demo.json
+	dune exec bin/ivtool.exe -- explain examples/programs/l14_closed_forms.iv
 
 clean:
 	dune clean

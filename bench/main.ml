@@ -522,11 +522,82 @@ let b1_runs ~corpus_size ~reps ~domain_counts =
       ])
     domain_counts
 
-let b1_json ~corpus_size runs =
+(* --- per-phase breakdown (lib/obs tracing) ---
+
+   One traced pass per (domains, cache) cell: where does the wall clock
+   go? [spawn] is Domain.spawn cost paid by the coordinating domain,
+   [join] the straggler wait after the coordinator's own worker loop
+   drained, [task] the summed in-worker task time, [queue] the summed
+   claim-to-start wait, [compute] the summed cold pipeline time inside
+   cache misses. *)
+
+type b1_phases = {
+  p_domains : int;
+  p_cache : string;
+  wall_us : float;
+  spawn_us : float;
+  join_us : float;
+  task_us : float;
+  queue_us : float;
+  compute_us : float;
+}
+
+let b1_phase_breakdown ~domains ~engine ~cache items =
+  let (), t =
+    Obs.Trace.collect (fun () ->
+        ignore (Service.Batch.run ~domains ~engine ~artifacts:b1_artifacts items))
+  in
+  let spans = Obs.Trace.spans t in
+  let dur (s : Obs.Trace.span) =
+    Obs.Clock.ns_to_us (Int64.sub s.Obs.Trace.stop_ns s.Obs.Trace.start_ns)
+  in
+  let sum name =
+    List.fold_left
+      (fun acc (s : Obs.Trace.span) ->
+        if s.Obs.Trace.name = name then acc +. dur s else acc)
+      0.0 spans
+  in
+  let queue_us =
+    List.fold_left
+      (fun acc (s : Obs.Trace.span) ->
+        if s.Obs.Trace.name = "pool.task" then
+          match List.assoc_opt "queue_wait_us" s.Obs.Trace.attrs with
+          | Some (Obs.Trace.Float f) -> acc +. f
+          | _ -> acc
+        else acc)
+      0.0 spans
+  in
+  {
+    p_domains = domains;
+    p_cache = cache;
+    wall_us = sum "batch.pass";
+    spawn_us = sum "pool.spawn";
+    join_us = sum "pool.join";
+    task_us = sum "pool.task";
+    queue_us;
+    compute_us = sum "engine.compute";
+  }
+
+let b1_phase_runs ~domain_counts items =
+  List.concat_map
+    (fun domains ->
+      let engine = Service.Engine.create ~capacity:4096 () in
+      let cold = b1_phase_breakdown ~domains ~engine ~cache:"cold" items in
+      let warm = b1_phase_breakdown ~domains ~engine ~cache:"warm" items in
+      [ cold; warm ])
+    domain_counts
+
+let b1_json ~corpus_size runs phases =
   let run_json r =
     Printf.sprintf
       "    {\"domains\": %d, \"cache\": \"%s\", \"seconds\": %.6f, \"files_per_sec\": %.1f, \"cache_hits\": %d, \"cache_misses\": %d}"
       r.domains r.cache r.seconds r.files_per_sec r.hits r.misses
+  in
+  let phase_json p =
+    Printf.sprintf
+      "    {\"domains\": %d, \"cache\": \"%s\", \"wall_us\": %.1f, \"spawn_us\": %.1f, \"join_us\": %.1f, \"task_us\": %.1f, \"queue_wait_us\": %.1f, \"compute_us\": %.1f}"
+      p.p_domains p.p_cache p.wall_us p.spawn_us p.join_us p.task_us p.queue_us
+      p.compute_us
   in
   String.concat "\n"
     [
@@ -537,6 +608,9 @@ let b1_json ~corpus_size runs =
       "  \"artifacts\": [\"classify\", \"deps\", \"trip\"],";
       "  \"runs\": [";
       String.concat ",\n" (List.map run_json runs);
+      "  ],";
+      "  \"phases\": [";
+      String.concat ",\n" (List.map phase_json phases);
       "  ]";
       "}";
       "";
@@ -558,7 +632,16 @@ let experiment_b1 ~smoke () =
       Printf.printf "  domains=%d %-4s %8.4fs %8.1f files/s  hits=%d misses=%d\n"
         r.domains r.cache r.seconds r.files_per_sec r.hits r.misses)
     runs;
-  let json = b1_json ~corpus_size runs in
+  let phases = b1_phase_runs ~domain_counts (b1_corpus corpus_size) in
+  print_endline "   per-phase (one traced pass each; times are summed span µs):";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  domains=%d %-4s wall=%8.0f spawn=%7.0f join=%7.0f task=%8.0f queue=%6.0f compute=%8.0f\n"
+        p.p_domains p.p_cache p.wall_us p.spawn_us p.join_us p.task_us p.queue_us
+        p.compute_us)
+    phases;
+  let json = b1_json ~corpus_size runs phases in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;
   close_out oc;

@@ -15,6 +15,13 @@
      ivtool normalize FILE   — print the loop-normalized program
      ivtool run       FILE   — interpret (bounded) and dump array state
 
+   Observability (lib/obs):
+
+     ivtool explain FILE [VAR] — per-SCR classification provenance
+     ivtool trace-check FILE   — validate a Chrome trace_event file
+     classify/deps/trip/batch take --trace OUT.json / --trace-summary;
+     serve always collects and answers a TRACE verb
+
    Service mode (lib/service: content-addressed cache + domain pool):
 
      ivtool batch FILES...   — analyze a corpus in parallel
@@ -56,6 +63,25 @@ let engine_of ~no_sccp ?(cache_size = 256) () =
 
 let render_or_fail r = match r with Ok s -> print_string s | Error msg -> fatal 2 "%s" msg
 
+(* --- tracing plumbing (`--trace`, `--trace-summary`) ---
+
+   [traced] runs [f] under a fresh ambient collector when either output
+   was requested; the Chrome JSON lands in the given file, the text
+   summary (with the engine's metrics appended when available) on
+   stderr. Without either flag the collector stays uninstalled and the
+   instrumentation costs one atomic load per site. *)
+
+let traced ?instruments ~trace_file ~trace_summary f =
+  if trace_file = None && not trace_summary then f ()
+  else begin
+    let result, t = Obs.Trace.collect f in
+    (match trace_file with
+     | Some path -> Obs.Export_chrome.write_file path t
+     | None -> ());
+    if trace_summary then prerr_string (Obs.Export_text.render ?instruments t);
+    result
+  end
+
 (* --- one-shot commands --- *)
 
 let cmd_parse file =
@@ -75,17 +101,23 @@ let cmd_ssa file =
 (* classify/deps/trip run through the service engine, so the CLI and
    `ivtool serve` render byte-identical reports from one code path. *)
 
-let cmd_classify no_sccp file =
+let cmd_classify no_sccp trace_file trace_summary file =
   let engine = engine_of ~no_sccp () in
-  render_or_fail (Service.Engine.classify engine (read_file file))
+  render_or_fail
+    (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+       (fun () -> Service.Engine.classify engine (read_file file)))
 
-let cmd_deps file =
+let cmd_deps trace_file trace_summary file =
   let engine = engine_of ~no_sccp:false () in
-  render_or_fail (Service.Engine.deps engine (read_file file))
+  render_or_fail
+    (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+       (fun () -> Service.Engine.deps engine (read_file file)))
 
-let cmd_trip file =
+let cmd_trip trace_file trace_summary file =
   let engine = engine_of ~no_sccp:false () in
-  render_or_fail (Service.Engine.trip engine (read_file file))
+  render_or_fail
+    (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+       (fun () -> Service.Engine.trip engine (read_file file)))
 
 let cmd_baseline file =
   with_source file (fun p ->
@@ -181,15 +213,18 @@ let parse_artifacts spec =
       | None -> fatal 1 "unknown artifact %S (expected classify, deps, trip or all)" name)
     names
 
-let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats files =
+let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats trace_file
+    trace_summary files =
   let artifacts = parse_artifacts artifacts in
   let engine = engine_of ~no_sccp ~cache_size () in
   let items =
     List.map (fun f -> { Service.Batch.name = f; source = read_file f }) files
   in
   let results =
-    Service.Batch.run ?timeout_s:timeout ~passes:repeat ~domains:jobs ~engine
-      ~artifacts items
+    traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+      (fun () ->
+        Service.Batch.run ?timeout_s:timeout ~passes:repeat ~domains:jobs ~engine
+          ~artifacts items)
   in
   let failures = ref 0 in
   List.iter
@@ -207,7 +242,24 @@ let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats files =
 
 let cmd_serve cache_size no_sccp =
   let engine = engine_of ~no_sccp ~cache_size () in
+  (* Serve mode always collects: the TRACE verb drains this collector,
+     and its record limit bounds memory between drains. *)
+  Obs.Trace.install (Obs.Trace.create ());
   Service.Server.run engine stdin stdout
+
+(* --- explain: classification provenance --- *)
+
+let cmd_explain no_sccp var file =
+  let engine = engine_of ~no_sccp () in
+  render_or_fail (Service.Explain.run ?var engine (read_file file))
+
+(* --- trace-check: validate a Chrome trace_event file --- *)
+
+let cmd_trace_check file =
+  match Obs.Json.check_trace (read_file file) with
+  | Ok (total, complete) ->
+    Printf.printf "ok: %d records, %d complete spans\n" total complete
+  | Error msg -> fatal 2 "invalid trace %s: %s" file msg
 
 (* --- command line --- *)
 
@@ -222,13 +274,54 @@ let simple name doc f =
 let no_sccp_flag =
   Arg.(value & flag & info [ "no-sccp" ] ~doc:"Disable constant propagation.")
 
+let trace_flag =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"OUT.json"
+           ~doc:"Write a Chrome trace_event JSON of the run (chrome://tracing, Perfetto).")
+
+let trace_summary_flag =
+  Arg.(value & flag
+       & info [ "trace-summary" ]
+           ~doc:"Print a sorted per-span timing summary to stderr.")
+
 let cache_size_flag =
   Arg.(value & opt int 1024 & info [ "cache-size" ] ~doc:"Artifact cache capacity (entries).")
 
 let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify every loop variable (the paper's algorithm).")
-    Term.(const cmd_classify $ no_sccp_flag $ file_arg)
+    Term.(const cmd_classify $ no_sccp_flag $ trace_flag $ trace_summary_flag $ file_arg)
+
+let deps_cmd =
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Dump the data dependence graph.")
+    Term.(const cmd_deps $ trace_flag $ trace_summary_flag $ file_arg)
+
+let trip_cmd =
+  Cmd.v
+    (Cmd.info "trip" ~doc:"Print every loop's (maximum) trip count.")
+    Term.(const cmd_trip $ trace_flag $ trace_summary_flag $ file_arg)
+
+let explain_cmd =
+  let var =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"VAR"
+             ~doc:"Restrict the report to SCRs mentioning this SSA name (e.g. j2).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show, for each strongly-connected region, which classification rule \
+             fired and what every member was classified as.")
+    Term.(const cmd_explain $ no_sccp_flag $ var $ file_arg)
+
+let trace_check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json"
+         ~doc:"Chrome trace_event file, e.g. from --trace or the serve TRACE verb.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check" ~doc:"Validate a Chrome trace_event JSON file.")
+    Term.(const cmd_trace_check $ file)
 
 let peel_cmd =
   let loop_name =
@@ -295,7 +388,7 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Analyze a corpus of programs in parallel through the caching service.")
     Term.(const cmd_batch $ jobs $ repeat $ artifacts $ timeout $ cache_size_flag
-          $ no_sccp_flag $ stats $ files)
+          $ no_sccp_flag $ stats $ trace_flag $ trace_summary_flag $ files)
 
 let serve_cmd =
   Cmd.v
@@ -314,11 +407,13 @@ let () =
       simple "cfg" "Dump the lowered control-flow graph." cmd_cfg;
       simple "ssa" "Dump the SSA form." cmd_ssa;
       classify_cmd;
-      simple "deps" "Dump the data dependence graph." cmd_deps;
+      deps_cmd;
+      explain_cmd;
       simple "baseline" "Run classical (iterative) IV detection." cmd_baseline;
       simple "sccp" "Run conditional constant propagation." cmd_sccp;
       simple "normalize" "Print the loop-normalized program." cmd_normalize;
-      simple "trip" "Print every loop's (maximum) trip count." cmd_trip;
+      trip_cmd;
+      trace_check_cmd;
       simple "dot-cfg" "Emit the CFG in Graphviz DOT format." cmd_dot_cfg;
       simple "dot-ssa" "Emit the SSA def-use graph in Graphviz DOT format." cmd_dot_ssa;
       simple "parallel" "Report which loops have independent iterations." cmd_parallel;

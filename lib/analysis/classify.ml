@@ -31,6 +31,53 @@ type ctx = {
 
 let loop_id ctx = ctx.loop.Ir.Loops.id
 
+(* --- classification provenance (lib/obs) ---
+
+   Every SCR emits one event naming its members, the shape that was
+   tried, and the rule that fired — the record `ivtool explain` and the
+   trace exporters render. Events cost nothing unless a collector is
+   installed. *)
+
+let namer ctx : Ivclass.namer =
+  let loops = Ir.Ssa.loops ctx.ssa in
+  {
+    Ivclass.loop_name =
+      (fun id ->
+        if id >= 0 && id < Ir.Loops.num_loops loops then
+          (Ir.Loops.loop loops id).Ir.Loops.name
+        else "L?");
+    atom_name =
+      (fun a ->
+        match a with
+        | Sym.Param x -> Ir.Ident.name x
+        | Sym.Def id -> Ir.Ssa.primary_name ctx.ssa id);
+  }
+
+(* [prov ctx scc ~shape ~rule] — call after the SCR's table entries are
+   written, so the event can record each member's final class. *)
+let prov ctx (scc : Ir.Instr.t list) ~shape ~rule =
+  if Obs.Trace.enabled () then begin
+    let nm = namer ctx in
+    let name_of (i : Ir.Instr.t) = Ir.Ssa.primary_name ctx.ssa i.Ir.Instr.id in
+    let class_of (i : Ir.Instr.t) =
+      Ivclass.to_string_with nm
+        (Option.value ~default:Ivclass.Unknown
+           (Ir.Instr.Id.Table.find_opt ctx.table i.Ir.Instr.id))
+    in
+    Obs.Trace.event ~cat:"provenance" "classify.scr"
+      ~attrs:
+        ([
+           ("loop", Obs.Trace.Str ctx.loop.Ir.Loops.name);
+           ("members", Obs.Trace.Str (String.concat "," (List.map name_of scc)));
+           ("size", Obs.Trace.Int (List.length scc));
+           ("shape", Obs.Trace.Str shape);
+           ("rule", Obs.Trace.Str rule);
+         ]
+        @ List.map
+            (fun i -> ("class." ^ name_of i, Obs.Trace.Str (class_of i)))
+            scc)
+  end
+
 (* Is this def lexically inside the current loop? *)
 let in_loop ctx id =
   Ir.Label.Set.mem (Ir.Cfg.block_of_instr (Ir.Ssa.cfg ctx.ssa) id) ctx.loop.Ir.Loops.blocks
@@ -687,13 +734,24 @@ let classify_periodic ctx scc =
         (fun k (m : Ir.Instr.t) ->
           Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id
             (Ivclass.Periodic { loop = loop_id ctx; period; values; phase = k }))
-        chain
+        chain;
+      prov ctx scc ~shape:"phi-cycle"
+        ~rule:
+          (Printf.sprintf
+             "cycle of %d loop-header phis, carried edges close a rotation \
+              with invariant entries => periodic family, period %d (sec 4.2)"
+             period period)
     end
-    else
+    else begin
       List.iter
         (fun (m : Ir.Instr.t) ->
           Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id Ivclass.Unknown)
-        scc
+        scc;
+      prov ctx scc ~shape:"phi-cycle"
+        ~rule:
+          "cycle of loop-header phis but the carried edges do not close a \
+           rotation of invariant values => unknown"
+    end
 
 let classify_single_phi_cycle ctx scc (phi : Ir.Instr.t) =
   let scc_set =
@@ -701,11 +759,15 @@ let classify_single_phi_cycle ctx scc (phi : Ir.Instr.t) =
       (fun acc (i : Ir.Instr.t) -> Ir.Instr.Id.Set.add i.Ir.Instr.id acc)
       Ir.Instr.Id.Set.empty scc
   in
+  let shape = "single-phi-cycle" in
+  let cycle_len = List.length scc in
   match init_sym ctx phi with
   | None ->
     List.iter
       (fun (m : Ir.Instr.t) -> Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id Ivclass.Unknown)
-      scc
+      scc;
+    prov ctx scc ~shape
+      ~rule:"initial value flowing into the header phi is not loop-invariant => unknown"
   | Some init -> (
     try
       let of_node, of_value = effect_analysis ctx scc_set phi.Ir.Instr.id in
@@ -723,34 +785,57 @@ let classify_single_phi_cycle ctx scc (phi : Ir.Instr.t) =
           else raise Not_affine
       in
       let loop = loop_id ctx in
-      let phi_class =
+      let phi_class, rule =
         if Rat.equal effect.mult Rat.one then begin
           match effect.add with
           | Ivclass.Invariant step ->
             (* Basic linear family (§3.1). *)
-            Ivclass.linear loop (Ivclass.Invariant init) step
+            ( Ivclass.linear loop (Ivclass.Invariant init) step,
+              Printf.sprintf
+                "cycle length %d through a single phi, cumulative effect \
+                 v' = v + d with d loop-invariant => basic IV family (sec 3.1)"
+                cycle_len )
           | Ivclass.Geometric { gcoeffs; ratio; gcoeff; _ } ->
-            Closed_form.polynomial_plus_geometric ~loop ~init ~add_coeffs:gcoeffs
-              ~gratio:ratio ~gcoeff
+            ( Closed_form.polynomial_plus_geometric ~loop ~init ~add_coeffs:gcoeffs
+                ~gratio:ratio ~gcoeff,
+              Printf.sprintf
+                "cumulative effect v' = v + p(h) + c*%s^h => polynomial plus \
+                 geometric closed form (sec 4.3)"
+                (Rat.to_string ratio) )
           | add -> (
             match Algebra.poly_view add with
-            | Some (_, coeffs) -> Closed_form.polynomial ~loop ~init ~add_coeffs:coeffs
-            | None -> Ivclass.Unknown)
+            | Some (_, coeffs) ->
+              ( Closed_form.polynomial ~loop ~init ~add_coeffs:coeffs,
+                Printf.sprintf
+                  "cumulative effect v' = v + p(h) with deg p = %d, matrix \
+                   inverted (rank %d) => polynomial degree %d (sec 4.3)"
+                  (Array.length coeffs - 1)
+                  (Array.length coeffs + 1)
+                  (Array.length coeffs) )
+            | None -> (Ivclass.Unknown, ""))
         end
         else if Rat.equal effect.mult Rat.minus_one then begin
           match effect.add with
           | Ivclass.Invariant s ->
             (* Flip-flop: v' = s - v is periodic with period 2 (§4.2/§4.3). *)
-            Ivclass.Periodic
-              { loop; period = 2; values = [| init; Sym.sub s init |]; phase = 0 }
-          | _ -> Ivclass.Unknown
+            ( Ivclass.Periodic
+                { loop; period = 2; values = [| init; Sym.sub s init |]; phase = 0 },
+              Printf.sprintf
+                "cycle length %d, cumulative effect v' = s - v (no \
+                 self-update) => flip-flop, periodic with period 2 (sec 4.2)"
+                cycle_len )
+          | _ -> (Ivclass.Unknown, "")
         end
-        else if Rat.is_zero effect.mult then Ivclass.Unknown
+        else if Rat.is_zero effect.mult then (Ivclass.Unknown, "")
         else begin
           match Algebra.poly_view effect.add with
           | Some (_, coeffs) ->
-            Closed_form.geometric ~loop ~init ~mult:effect.mult ~add_coeffs:coeffs
-          | None -> Ivclass.Unknown
+            ( Closed_form.geometric ~loop ~init ~mult:effect.mult ~add_coeffs:coeffs,
+              Printf.sprintf
+                "cumulative effect v' = %s*v + p(h) => geometric with ratio \
+                 %s (sec 4.3)"
+                (Rat.to_string effect.mult) (Rat.to_string effect.mult) )
+          | None -> (Ivclass.Unknown, "")
         end
       in
       if phi_class = Ivclass.Unknown then raise Not_affine;
@@ -760,16 +845,33 @@ let classify_single_phi_cycle ctx scc (phi : Ir.Instr.t) =
           let e = of_node m.Ir.Instr.id in
           let c = Algebra.add (Algebra.scale e.mult phi_class) e.add in
           Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id c)
-        scc
+        scc;
+      prov ctx scc ~shape ~rule
     with Not_affine -> (
-      try monotonic_analysis ctx scc phi.Ir.Instr.id
+      try
+        monotonic_analysis ctx scc phi.Ir.Instr.id;
+        prov ctx scc ~shape
+          ~rule:
+            "not affine in the phi, but every back-edge path accumulates a \
+             consistently signed increment => monotonic family (sec 4.4)"
       with Not_monotonic -> (
-        try monotonic_mul_analysis ctx scc phi.Ir.Instr.id
+        try
+          monotonic_mul_analysis ctx scc phi.Ir.Instr.id;
+          prov ctx scc ~shape
+            ~rule:
+              "not affine, but the initial value is a known non-negative \
+               constant and every operation (add >= 0, multiply by >= 1) \
+               moves non-negative values upward => monotonic increasing \
+               (sec 4.4, multiply extension)"
         with Not_monotonic ->
           List.iter
             (fun (m : Ir.Instr.t) ->
               Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id Ivclass.Unknown)
-            scc)))
+            scc;
+          prov ctx scc ~shape
+            ~rule:
+              "no shape matched (not affine in the phi, increments not \
+               consistently signed) => unknown")))
 
 (* --- trivial regions: the operator algebra (§5.1) --- *)
 
@@ -814,57 +916,80 @@ let classify_wraparound ctx (phi : Ir.Instr.t) =
   (* A loop-header phi alone in its region (§4.1): the carried value's
      class, delayed by one iteration. If the initial value happens to fit
      the carried sequence shifted back one step, promote to the plain
-     class (paper: jl = 0 makes j2 the IV (L10, 0, 1)). *)
+     class (paper: jl = 0 makes j2 the IV (L10, 0, 1)).
+
+     Returns the class and the provenance rule that produced it. *)
   match (init_sym ctx phi, split_phi_args ctx phi) with
   | Some init, (_, back) -> (
     let carried_classes = List.map (class_of_value ctx) back in
     match carried_classes with
-    | [] -> Ivclass.Unknown
+    | [] -> (Ivclass.Unknown, "header phi with no carried value")
     | first :: rest ->
-      if not (List.for_all (Ivclass.equal first) rest) then Ivclass.Unknown
-      else if first = Ivclass.Unknown then Ivclass.Unknown
+      if not (List.for_all (Ivclass.equal first) rest) then
+        (Ivclass.Unknown, "header phi alone in region, carried classes disagree")
+      else if first = Ivclass.Unknown then
+        (Ivclass.Unknown, "header phi alone in region, carried value unclassified")
       else begin
         match Algebra.shift first (-1) with
         | Some shifted when
             (match Algebra.sym_at shifted 0 with
              | Some v0 -> Sym.equal v0 init
              | None -> false) ->
-          shifted
-        | Some _ | None -> Ivclass.wrap (loop_id ctx) first init
+          ( shifted,
+            "header phi alone in region, initial value fits the carried \
+             sequence shifted back one step => promoted to the underlying \
+             class (sec 4.1)" )
+        | Some _ | None ->
+          ( Ivclass.wrap (loop_id ctx) first init,
+            "header phi alone in its region, carried value classified => \
+             wrap-around of the carried class, delayed one iteration (sec 4.1)"
+          )
       end)
-  | None, _ -> Ivclass.Unknown
+  | None, _ -> (Ivclass.Unknown, "header phi with non-invariant initial value")
 
 let classify_trivial ctx (instr : Ir.Instr.t) =
   let id = instr.Ir.Instr.id in
   let arg i = class_of_value ctx instr.Ir.Instr.args.(i) in
-  let result =
+  let algebra op = Printf.sprintf "operator algebra on %s of classified operands (sec 5.1)" op in
+  let result, rule =
     match instr.Ir.Instr.op with
-    | Ir.Instr.Binop Ir.Ops.Add -> Algebra.add (arg 0) (arg 1)
-    | Ir.Instr.Binop Ir.Ops.Sub -> Algebra.sub (arg 0) (arg 1)
-    | Ir.Instr.Binop Ir.Ops.Mul -> Algebra.mul (arg 0) (arg 1)
+    | Ir.Instr.Binop Ir.Ops.Add -> (Algebra.add (arg 0) (arg 1), algebra "add")
+    | Ir.Instr.Binop Ir.Ops.Sub -> (Algebra.sub (arg 0) (arg 1), algebra "sub")
+    | Ir.Instr.Binop Ir.Ops.Mul -> (Algebra.mul (arg 0) (arg 1), algebra "mul")
     | Ir.Instr.Binop Ir.Ops.Div ->
-      classify_div ctx id instr.Ir.Instr.args.(0) instr.Ir.Instr.args.(1)
+      ( classify_div ctx id instr.Ir.Instr.args.(0) instr.Ir.Instr.args.(1),
+        algebra "div (invariant divisor)" )
     | Ir.Instr.Binop Ir.Ops.Exp ->
-      classify_exp ctx id instr.Ir.Instr.args.(0) instr.Ir.Instr.args.(1)
-    | Ir.Instr.Neg -> Algebra.neg (arg 0)
-    | Ir.Instr.Relop _ -> Ivclass.Unknown
-    | Ir.Instr.Rand -> Ivclass.Unknown
-    | Ir.Instr.Aload _ -> Ivclass.Unknown
-    | Ir.Instr.Astore _ -> arg (Array.length instr.Ir.Instr.args - 1)
+      ( classify_exp ctx id instr.Ir.Instr.args.(0) instr.Ir.Instr.args.(1),
+        algebra "exp (invariant base ^ linear exponent => geometric)" )
+    | Ir.Instr.Neg -> (Algebra.neg (arg 0), algebra "neg")
+    | Ir.Instr.Relop _ -> (Ivclass.Unknown, "relational result is not an integer sequence")
+    | Ir.Instr.Rand -> (Ivclass.Unknown, "random value: unknowable")
+    | Ir.Instr.Aload _ -> (Ivclass.Unknown, "array load: value not tracked")
+    | Ir.Instr.Astore _ ->
+      (arg (Array.length instr.Ir.Instr.args - 1), "store passes its value through")
     | Ir.Instr.Phi ->
       if Ssa_graph.is_header_phi ctx.graph instr then classify_wraparound ctx instr
       else begin
         (* An if-join outside any cycle: all inputs agree or unknown. *)
         let args = Array.to_list (Array.map (class_of_value ctx) instr.Ir.Instr.args) in
         match args with
-        | [] -> Ivclass.Unknown
+        | [] -> (Ivclass.Unknown, "empty phi")
         | first :: rest ->
-          if List.for_all (Ivclass.equal first) rest then first else Ivclass.Unknown
+          if List.for_all (Ivclass.equal first) rest then
+            (first, "if-join outside any cycle, all inputs agree (sec 5.1)")
+          else (Ivclass.Unknown, "if-join with disagreeing inputs")
       end
     | Ir.Instr.Load _ | Ir.Instr.Store _ ->
       invalid_arg "Classify: program not in SSA form"
   in
-  Ir.Instr.Id.Table.replace ctx.table id result
+  Ir.Instr.Id.Table.replace ctx.table id result;
+  let shape =
+    match instr.Ir.Instr.op with
+    | Ir.Instr.Phi when Ssa_graph.is_header_phi ctx.graph instr -> "lone-header-phi"
+    | _ -> "singleton"
+  in
+  prov ctx [ instr ] ~shape ~rule
 
 (* --- entry point --- *)
 
@@ -885,15 +1010,30 @@ let classify_scc ctx (scc : Ir.Instr.t list) =
     | [] ->
       List.iter
         (fun (m : Ir.Instr.t) -> Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id Ivclass.Unknown)
-        scc
+        scc;
+      prov ctx scc ~shape:"cycle"
+        ~rule:"cycle contains no loop-header phi => unknown"
     | [ phi ] -> classify_single_phi_cycle ctx scc phi
     | _ ->
       if all_header_phis then classify_periodic ctx scc
-      else
+      else begin
         List.iter
           (fun (m : Ir.Instr.t) -> Ir.Instr.Id.Table.replace ctx.table m.Ir.Instr.id Ivclass.Unknown)
-          scc
+          scc;
+        prov ctx scc ~shape:"cycle"
+          ~rule:
+            "cycle mixes several loop-header phis with other operations => \
+             unknown"
+      end
   end
+
+let classify_scc ctx (scc : Ir.Instr.t list) =
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span ~cat:"classify"
+      ~attrs:[ ("scr_size", Obs.Trace.Int (List.length scc)) ]
+      "classify.scr"
+      (fun () -> classify_scc ctx scc)
+  else classify_scc ctx scc
 
 (* [classify_loop ssa loop] classifies every instruction of [loop]'s
    direct body. [outer_const] supplies known values for defs outside the
@@ -925,6 +1065,11 @@ let classify_loop ?(outer_const = fun _ -> None) ?(inner_exit = fun _ -> None)
       key = (fun (i : Ir.Instr.t) -> i.Ir.Instr.id);
     }
   in
-  let sccs = Tarjan.sccs g in
+  let sccs =
+    Obs.Trace.with_span ~cat:"classify"
+      ~attrs:[ ("loop", Obs.Trace.Str loop.Ir.Loops.name) ]
+      "classify.tarjan"
+      (fun () -> Tarjan.sccs g)
+  in
   List.iter (classify_scc ctx) sccs;
   (ctx.table, graph)

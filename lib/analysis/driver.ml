@@ -221,7 +221,12 @@ let promote (t : t) =
    (default true) runs conditional constant propagation first and feeds
    proven constants into symbolic initial values. *)
 let analyze ?(use_sccp = true) (ssa : Ir.Ssa.t) : t =
-  let sccp = if use_sccp then Some (Sccp.run ssa) else None in
+  Obs.Trace.with_span ~cat:"pipeline" "pipeline.analyze" @@ fun () ->
+  let sccp =
+    if use_sccp then
+      Some (Obs.Trace.with_span ~cat:"pipeline" "pipeline.sccp" (fun () -> Sccp.run ssa))
+    else None
+  in
   let outer_const =
     match sccp with
     | Some r -> fun d -> Option.map Sym.of_int (Sccp.const_of r d)
@@ -239,16 +244,30 @@ let analyze ?(use_sccp = true) (ssa : Ir.Ssa.t) : t =
   let inner_exit d = Ir.Instr.Id.Table.find_opt t.exit_values d in
   List.iter
     (fun (lp : Ir.Loops.loop) ->
+      Obs.Trace.with_span ~cat:"pipeline"
+        ~attrs:
+          [ ("loop", Obs.Trace.Str lp.Ir.Loops.name);
+            ("depth", Obs.Trace.Int lp.Ir.Loops.depth) ]
+        "pipeline.classify_loop"
+      @@ fun () ->
       let table, graph = Classify.classify_loop ~outer_const ~inner_exit ssa lp in
       let ctx =
         { Classify.ssa; loop = lp; graph; table; outer_const; inner_exit }
       in
-      let trip = Trip_count.compute ctx in
+      let trip =
+        Obs.Trace.with_span ~cat:"pipeline"
+          ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
+          "pipeline.trip_count"
+          (fun () -> Trip_count.compute ctx)
+      in
       let r = { loop = lp; table; graph; trip } in
       t.by_loop.(lp.Ir.Loops.id) <- Some r;
-      compute_exit_values t r)
+      Obs.Trace.with_span ~cat:"pipeline"
+        ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
+        "pipeline.exit_values"
+        (fun () -> compute_exit_values t r))
     (Ir.Loops.postorder loops);
-  promote t;
+  Obs.Trace.with_span ~cat:"pipeline" "pipeline.promote" (fun () -> promote t);
   t
 
 (* --- reporting --- *)

@@ -338,7 +338,7 @@ let drop_all_equal (outcome : Deptest.outcome) : Deptest.outcome =
   | o -> o
 
 (* One directed edge, or [None] when disproved. *)
-let directed_edge ~bounds (src : array_ref) (dst : array_ref) : edge option =
+let directed_edge_untraced ~bounds (src : array_ref) (dst : array_ref) : edge option =
   let kind =
     match (src.kind, dst.kind) with
     | Write, Read -> Flow
@@ -366,10 +366,32 @@ let directed_edge ~bounds (src : array_ref) (dst : array_ref) : edge option =
   | Deptest.Independent -> None
   | Deptest.Dependent _ -> Some { src; dst; kind; outcome }
 
+let ref_kind_string = function Read -> "read" | Write -> "write"
+
+let directed_edge ~bounds (src : array_ref) (dst : array_ref) : edge option =
+  if not (Obs.Trace.enabled ()) then directed_edge_untraced ~bounds src dst
+  else
+    Obs.Trace.with_span ~cat:"deptest"
+      ~attrs:
+        [ ("array", Obs.Trace.Str (Ir.Ident.name src.array));
+          ("src", Obs.Trace.Str (ref_kind_string src.kind));
+          ("dst", Obs.Trace.Str (ref_kind_string dst.kind)) ]
+      "deptest.pair"
+      (fun () ->
+        let e = directed_edge_untraced ~bounds src dst in
+        Obs.Trace.add_attrs
+          [ ( "outcome",
+              Obs.Trace.Str
+                (match e with
+                 | None -> "independent"
+                 | Some e -> kind_to_string e.kind) ) ];
+        e)
+
 (* [build ?include_input t] is the dependence graph of the program: both
    directions of every same-array pair with at least one write are
    tested, and only surviving (possibly conservative) edges are kept. *)
 let build ?(include_input = false) (t : Driver.t) : edge list =
+  Obs.Trace.with_span ~cat:"deptest" "deptest.build" @@ fun () ->
   let refs = List.map (refine_ref_strictness t) (collect_refs t) in
   (* Iteration-count bounds for the Banerjee tests: an exact count when
      available, else the multi-exit maximum (paper §5.2: "useful for

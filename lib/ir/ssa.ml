@@ -76,7 +76,7 @@ let is_scalar_op = function
 (* --- Construction --- *)
 
 let convert (cfg : Cfg.t) : t =
-  let dom = Dom.compute cfg in
+  let dom = Obs.Trace.with_span "pipeline.dominators" (fun () -> Dom.compute cfg) in
   let preds = Cfg.pred_table cfg in
   let nblocks = Cfg.num_blocks cfg in
   (* 1. Definition blocks per scalar variable, keeping the variables in
@@ -300,14 +300,18 @@ let convert (cfg : Cfg.t) : t =
         Hashtbl.replace name_env name v
       end)
     (List.rev !naming_events);
-  let loops = Loops.compute cfg dom in
+  let loops = Obs.Trace.with_span "pipeline.looptree" (fun () -> Loops.compute cfg dom) in
   { cfg; dom; loops; phi_var; names_of; name_env }
 
+let convert cfg = Obs.Trace.with_span "pipeline.ssa" (fun () -> convert cfg)
+
 (* [of_source src] parses, lowers and converts to SSA in one step. *)
-let of_source src = convert (Lower.lower_source src)
+let of_source src =
+  convert (Obs.Trace.with_span "pipeline.lower" (fun () -> Lower.lower_source src))
 
 (* [of_program ast] lowers and converts a constructed AST. *)
-let of_program p = convert (Lower.lower p)
+let of_program p =
+  convert (Obs.Trace.with_span "pipeline.lower" (fun () -> Lower.lower p))
 
 (* --- Validation (used by property tests) --- *)
 

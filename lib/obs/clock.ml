@@ -1,0 +1,22 @@
+(* The trace time source: nanoseconds since an arbitrary process-local
+   epoch. [Unix.gettimeofday] is the only portable clock the stdlib
+   offers; it can step backwards under NTP, so each domain clamps to its
+   own last reading — span durations never come out negative and nesting
+   stays consistent within a domain. *)
+
+let epoch = Unix.gettimeofday ()
+
+let raw_ns () =
+  Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
+
+let last : int64 ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0L)
+
+let now_ns () =
+  let l = Domain.DLS.get last in
+  let t = raw_ns () in
+  let t = if Int64.compare t !l < 0 then !l else t in
+  l := t;
+  t
+
+(* Microseconds with sub-µs precision, for Chrome's [ts]/[dur] fields. *)
+let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -1,0 +1,10 @@
+(** The trace time source.
+
+    Nanoseconds since a process-local epoch, monotonic within each
+    domain (readings are clamped to never step backwards, so span
+    durations are non-negative). *)
+
+val now_ns : unit -> int64
+
+(** Microseconds (with sub-µs precision) for Chrome's [ts]/[dur]. *)
+val ns_to_us : int64 -> float

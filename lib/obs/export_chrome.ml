@@ -1,0 +1,95 @@
+(* Chrome trace_event JSON (the "JSON Array Format" with a traceEvents
+   wrapper), loadable in chrome://tracing and Perfetto.
+
+   Spans become "X" (complete) events with ts/dur in microseconds;
+   instant events become "i" events with scope "t". Span attributes land
+   in [args]; the span id and parent id are included as args so the
+   hierarchy survives even where the viewer's own stack inference (by
+   time containment per tid) differs. *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let buf_add_attr buf (k, v) =
+  buf_add_json_string buf k;
+  Buffer.add_char buf ':';
+  match (v : Trace.attr) with
+  | Trace.Str s -> buf_add_json_string buf s
+  | Trace.Int i -> Buffer.add_string buf (string_of_int i)
+  | Trace.Float f ->
+    Buffer.add_string buf
+      (if Float.is_finite f then Printf.sprintf "%.6g" f else "null")
+  | Trace.Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let buf_add_args buf attrs =
+  Buffer.add_string buf "\"args\":{";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_add_attr buf a)
+    attrs;
+  Buffer.add_char buf '}'
+
+let span_record buf (s : Trace.span) =
+  let ts = Clock.ns_to_us s.Trace.start_ns in
+  let dur = Clock.ns_to_us (Int64.sub s.Trace.stop_ns s.Trace.start_ns) in
+  Buffer.add_string buf "{\"name\":";
+  buf_add_json_string buf s.Trace.name;
+  Buffer.add_string buf ",\"cat\":";
+  buf_add_json_string buf s.Trace.cat;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+       ts dur s.Trace.tid);
+  let ids =
+    ("span", Trace.Int s.Trace.sid)
+    ::
+    (match s.Trace.parent with
+     | Some p -> [ ("parent", Trace.Int p) ]
+     | None -> [])
+  in
+  buf_add_args buf (ids @ s.Trace.attrs);
+  Buffer.add_char buf '}'
+
+let event_record buf (e : Trace.event) =
+  Buffer.add_string buf "{\"name\":";
+  buf_add_json_string buf e.Trace.ev_name;
+  Buffer.add_string buf ",\"cat\":";
+  buf_add_json_string buf e.Trace.ev_cat;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+       (Clock.ns_to_us e.Trace.ts_ns) e.Trace.ev_tid);
+  buf_add_args buf e.Trace.ev_attrs;
+  Buffer.add_char buf '}'
+
+let render_parts spans events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n";
+  in
+  List.iter (fun s -> sep (); span_record buf s) spans;
+  List.iter (fun e -> sep (); event_record buf e) events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let render t = render_parts (Trace.spans t) (Trace.events t)
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render t))

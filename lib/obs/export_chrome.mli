@@ -1,0 +1,14 @@
+(** Chrome [trace_event] JSON exporter.
+
+    The output is the standard [{"traceEvents": [...]}] object: spans as
+    ["ph":"X"] complete events (ts/dur in microseconds), instant events
+    as ["ph":"i"]. Load the file in chrome://tracing or
+    {{:https://ui.perfetto.dev}Perfetto}. Span and parent ids ride along
+    in [args] so the recorded hierarchy is recoverable exactly. *)
+
+val render : Trace.t -> string
+
+(** Render pre-drained spans/events (the serve-mode [TRACE] verb). *)
+val render_parts : Trace.span list -> Trace.event list -> string
+
+val write_file : string -> Trace.t -> unit

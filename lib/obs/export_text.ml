@@ -1,0 +1,79 @@
+(* The sorted-text summary: spans aggregated by (cat, name), events
+   counted by name, instruments rendered through Instrument.dump.
+
+   This is the human-facing sibling of the Chrome exporter — the STATS
+   payload and `ivtool batch --stats` extend their old metrics dump with
+   whatever span data has been collected. *)
+
+type agg = {
+  mutable count : int;
+  mutable total_ns : int64;
+  mutable min_ns : int64;
+  mutable max_ns : int64;
+}
+
+let span_table spans =
+  let tbl : (string * string, agg) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let d = Int64.sub s.Trace.stop_ns s.Trace.start_ns in
+      match Hashtbl.find_opt tbl (s.Trace.cat, s.Trace.name) with
+      | Some a ->
+        a.count <- a.count + 1;
+        a.total_ns <- Int64.add a.total_ns d;
+        if Int64.compare d a.min_ns < 0 then a.min_ns <- d;
+        if Int64.compare d a.max_ns > 0 then a.max_ns <- d
+      | None ->
+        Hashtbl.replace tbl (s.Trace.cat, s.Trace.name)
+          { count = 1; total_ns = d; min_ns = d; max_ns = d })
+    spans;
+  tbl
+
+let us ns = Int64.to_float ns /. 1e3
+
+(* Integer µs, half away from zero — same stable convention as
+   Instrument.dump. *)
+let us_string ns = Printf.sprintf "%.0f" (Float.round (us ns))
+
+let summary ?instruments spans events =
+  let buf = Buffer.create 1024 in
+  let tbl = span_table spans in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  if rows <> [] then begin
+    Buffer.add_string buf "spans (by cat/name):\n";
+    rows
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun ((cat, name), a) ->
+           Buffer.add_string buf
+             (Printf.sprintf "%-40s count=%-6d total=%sus mean=%sus min=%sus max=%sus\n"
+                (cat ^ "/" ^ name) a.count (us_string a.total_ns)
+                (us_string (Int64.div a.total_ns (Int64.of_int a.count)))
+                (us_string a.min_ns) (us_string a.max_ns)))
+  end;
+  let ev_counts : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let key = e.Trace.ev_cat ^ "/" ^ e.Trace.ev_name in
+      match Hashtbl.find_opt ev_counts key with
+      | Some r -> incr r
+      | None -> Hashtbl.replace ev_counts key (ref 1))
+    events;
+  if Hashtbl.length ev_counts > 0 then begin
+    Buffer.add_string buf "events (by cat/name):\n";
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) ev_counts []
+    |> List.sort compare
+    |> List.iter (fun (k, n) ->
+           Buffer.add_string buf (Printf.sprintf "%-40s count=%d\n" k n))
+  end;
+  (match instruments with
+   | Some m ->
+     let d = Instrument.dump m in
+     if d <> "" then begin
+       Buffer.add_string buf d;
+       Buffer.add_char buf '\n'
+     end
+   | None -> ());
+  Buffer.contents buf
+
+let render ?instruments t =
+  summary ?instruments (Trace.spans t) (Trace.events t)

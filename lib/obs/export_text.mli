@@ -1,0 +1,11 @@
+(** Sorted-text trace summary.
+
+    Spans aggregate by (category, name) into
+    [count/total/mean/min/max] rows; events count by name; an optional
+    {!Instrument.t} registry is appended via {!Instrument.dump}. Rows
+    sort lexicographically, times render as integer microseconds —
+    output is byte-stable for the same recorded data. *)
+
+val summary : ?instruments:Instrument.t -> Trace.span list -> Trace.event list -> string
+
+val render : ?instruments:Instrument.t -> Trace.t -> string

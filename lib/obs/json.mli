@@ -1,0 +1,27 @@
+(** A minimal JSON parser — enough to re-parse and validate the Chrome
+    trace output (tests, `ivtool trace-check`). Numbers parse as
+    floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse a complete JSON document; raises {!Parse_error}. *)
+val parse : string -> t
+
+val parse_result : string -> (t, string) result
+
+(** Object member lookup; [None] on non-objects and absent keys. *)
+val member : string -> t -> t option
+
+(** [check_trace s] validates a Chrome trace_event file: JSON parses,
+    [traceEvents] is an array, every record has [name]/[ph]/[ts]/[pid]/
+    [tid] and complete events carry a non-negative [dur]. Returns
+    [(total records, complete spans)]. *)
+val check_trace : string -> (int * int, string) result

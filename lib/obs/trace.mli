@@ -1,0 +1,75 @@
+(** Hierarchical tracing: spans and structured events.
+
+    One collector may be installed as the process-wide ambient sink;
+    while none is installed, {!with_span} and {!event} cost a single
+    atomic load (the pipeline stays instrumented unconditionally).
+    Spans nest per domain — each domain keeps its own open-span stack,
+    so a {!Trace.t} shared by a pool records one well-formed tree per
+    worker, distinguished by the span's [tid]. *)
+
+type attr =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type span = {
+  sid : int;  (** unique within a collector *)
+  parent : int option;  (** enclosing span on the same domain *)
+  name : string;
+  cat : string;
+  tid : int;  (** domain id *)
+  start_ns : int64;
+  mutable stop_ns : int64;  (** = [start_ns] while still open *)
+  mutable attrs : (string * attr) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;
+  ts_ns : int64;
+  ev_attrs : (string * attr) list;
+}
+
+type t
+
+(** [create ~limit ()] — a collector retaining at most [limit] records
+    (default 200k); excess spans/events are counted in {!dropped}
+    instead of growing without bound (relevant to long-lived `serve`
+    sessions). *)
+val create : ?limit:int -> unit -> t
+
+val install : t -> unit
+val uninstall : unit -> unit
+val current : unit -> t option
+val enabled : unit -> bool
+
+(** [with_span ~cat ~attrs name f] runs [f] inside a span; the span is
+    recorded (and closed) even if [f] raises. No-op without an ambient
+    collector. *)
+val with_span : ?cat:string -> ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+
+(** Append attributes to the innermost open span of this domain. *)
+val add_attrs : (string * attr) list -> unit
+
+(** An instant event. No-op without an ambient collector. *)
+val event : ?cat:string -> ?attrs:(string * attr) list -> string -> unit
+
+(** Recorded spans/events, in recording (chronological) order. *)
+val spans : t -> span list
+
+val events : t -> event list
+
+(** Records rejected because the collector was full. *)
+val dropped : t -> int
+
+(** Atomically read and clear — the serve-mode [TRACE] verb. *)
+val drain : t -> span list * event list
+
+(** [collect f] runs [f] under a fresh temporarily-installed collector,
+    restoring the previous one after; returns [f]'s result and the
+    collector. *)
+val collect : ?limit:int -> (unit -> 'a) -> 'a * t
+
+val attr_to_string : attr -> string

@@ -27,15 +27,27 @@ let run ?timeout_s ?(passes = 1) ~domains ~engine ~artifacts items =
   let items_counter = Metrics.counter metrics "batch.items" in
   let passes_counter = Metrics.counter metrics "batch.passes" in
   let arr = Array.of_list items in
-  let one_pass () =
+  let one_pass p =
     Metrics.incr passes_counter;
     Metrics.incr ~by:(Array.length arr) items_counter;
-    Pool.map ?timeout_s ~queue_depth:(Metrics.set_gauge depth) ~domains
-      (fun item -> report engine ~artifacts item)
-      arr
+    Obs.Trace.with_span ~cat:"batch"
+      ~attrs:
+        [ ("pass", Obs.Trace.Int p);
+          ("items", Obs.Trace.Int (Array.length arr));
+          ("domains", Obs.Trace.Int domains) ]
+      "batch.pass"
+      (fun () ->
+        Pool.map ?timeout_s ~queue_depth:(Metrics.set_gauge depth) ~domains
+          (fun item ->
+            Obs.Trace.with_span ~cat:"batch"
+              ~attrs:[ ("file", Obs.Trace.Str item.name) ]
+              "batch.item"
+              (fun () -> report engine ~artifacts item))
+          arr)
   in
-  let rec go n last = if n <= 0 then last else go (n - 1) (one_pass ()) in
-  let outcomes = go (max 1 passes) [||] in
+  let total = max 1 passes in
+  let rec go n last = if n <= 0 then last else go (n - 1) (one_pass (total - n + 1)) in
+  let outcomes = go total [||] in
   List.mapi
     (fun i item ->
       let result =

@@ -56,9 +56,30 @@ let compute_driver t src : (value, string) result =
        Ok (V_driver d)
      | errs -> Error (String.concat "\n" errs))
 
+(* Cache lookup with a hit/miss event per artifact; the computation runs
+   under a span so cold paths are visible in the trace. *)
+let cached t tag k compute =
+  if not (Obs.Trace.enabled ()) then Cache.find_or_add t.cache k compute
+  else begin
+    let hit = ref true in
+    let v =
+      Cache.find_or_add t.cache k (fun () ->
+          hit := false;
+          Obs.Trace.with_span ~cat:"engine"
+            ~attrs:[ ("artifact", Obs.Trace.Str tag) ]
+            "engine.compute" compute)
+    in
+    Obs.Trace.event ~cat:"engine"
+      ~attrs:
+        [ ("artifact", Obs.Trace.Str tag);
+          ("hit", Obs.Trace.Bool !hit) ]
+      "engine.cache";
+    v
+  end
+
 let analyze t src : (Analysis.Driver.t, string) result =
   Metrics.incr (Metrics.counter t.metrics "requests.analyze");
-  match Cache.find_or_add t.cache (key t "analyze" src) (fun () -> compute_driver t src) with
+  match cached t "analyze" (key t "analyze" src) (fun () -> compute_driver t src) with
   | Ok (V_driver d) -> Ok d
   | Ok (V_text _) -> assert false
   | Error msg -> Error msg
@@ -91,7 +112,7 @@ let render t artifact src : (string, string) result =
   let tag = artifact_to_string artifact in
   Metrics.incr (Metrics.counter t.metrics ("requests." ^ tag));
   match
-    Cache.find_or_add t.cache (key t tag src) (fun () ->
+    cached t tag (key t tag src) (fun () ->
         match analyze t src with
         | Error msg -> Error msg
         | Ok d ->

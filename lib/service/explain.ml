@@ -1,0 +1,66 @@
+(* Classification provenance reports: re-run classification under a
+   fresh collector and replay the per-SCR provenance events (category
+   "provenance", one per strongly-connected region, emitted by
+   Analysis.Classify in Tarjan emission order) as a readable report. *)
+
+let attr (e : Obs.Trace.event) key =
+  Option.map Obs.Trace.attr_to_string (List.assoc_opt key e.Obs.Trace.ev_attrs)
+
+let str e key = Option.value ~default:"?" (attr e key)
+
+let members e = String.split_on_char ',' (str e "members")
+
+let mentions v e = List.mem v (members e)
+
+let provenance_events events =
+  List.filter (fun (e : Obs.Trace.event) -> e.Obs.Trace.ev_cat = "provenance") events
+
+(* [report ?var events] renders the provenance events, grouped by loop
+   in event order; with [var], only SCRs containing that SSA name. *)
+let report ?var events =
+  let selected =
+    match var with
+    | None -> provenance_events events
+    | Some v -> List.filter (mentions v) (provenance_events events)
+  in
+  let buf = Buffer.create 512 in
+  let current_loop = ref "" in
+  List.iter
+    (fun e ->
+      let loop = str e "loop" in
+      if loop <> !current_loop then begin
+        current_loop := loop;
+        Buffer.add_string buf (Printf.sprintf "== loop %s ==\n" loop)
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "scr {%s}  shape: %s\n"
+           (String.concat ", " (members e))
+           (str e "shape"));
+      Buffer.add_string buf (Printf.sprintf "  rule: %s\n" (str e "rule"));
+      List.iter
+        (fun name ->
+          match attr e ("class." ^ name) with
+          | Some c -> Buffer.add_string buf (Printf.sprintf "  %-8s %s\n" name c)
+          | None -> ())
+        (members e))
+    selected;
+  Buffer.contents buf
+
+(* [run ?var engine src] — classify [src] (through the engine, so cache
+   options apply) and return the provenance report. [Error] when the
+   program fails to parse/analyze, or when [var] matches no SCR. *)
+let run ?var engine src =
+  (* A cache hit would skip classification (and so emit no provenance
+     events): force the pipeline to actually run. *)
+  ignore (Engine.invalidate engine src);
+  let result, t =
+    Obs.Trace.collect (fun () -> Engine.classify engine src)
+  in
+  match result with
+  | Error msg -> Error msg
+  | Ok _ -> (
+    let events = Obs.Trace.events t in
+    match var with
+    | Some v when not (List.exists (mentions v) (provenance_events events)) ->
+      Error (Printf.sprintf "no classification event mentions %S" v)
+    | _ -> Ok (report ?var events))

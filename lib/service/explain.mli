@@ -1,0 +1,21 @@
+(** `ivtool explain`: classification provenance reports.
+
+    Classification emits one structured event per strongly-connected
+    region (category ["provenance"]) recording the SCR's members, the
+    shape that matched, the rule that fired and every member's final
+    class. This module re-runs classification under a private collector
+    and renders those events. *)
+
+(** The provenance events among [events], in order. *)
+val provenance_events : Obs.Trace.event list -> Obs.Trace.event list
+
+(** Does this event's SCR contain the SSA name? *)
+val mentions : string -> Obs.Trace.event -> bool
+
+(** [report ?var events] — the textual report; with [var], only SCRs
+    containing that SSA name. *)
+val report : ?var:string -> Obs.Trace.event list -> string
+
+(** [run ?var engine src] — classify [src] and report. [Error] on
+    parse/analysis failure or when [var] matches no SCR. *)
+val run : ?var:string -> Engine.t -> string -> (string, string) result

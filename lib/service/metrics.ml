@@ -1,164 +1,5 @@
-(* Counters, gauges and log2-bucketed latency histograms, registered by
-   name. One mutex per registry; individual updates also take it (they
-   are rare enough per-sample — parsing/analysis dominates by orders of
-   magnitude). *)
+(* The metrics registry moved to [Obs.Instrument] (PR 2) so the tracing
+   exporters can fold instrument state into their summaries; this module
+   re-exports it unchanged for existing call sites. *)
 
-let buckets = 40
-(* bucket i holds samples in [2^i, 2^(i+1)) microseconds; 2^39 µs ≈ 6.4 days *)
-
-type counter = { c_lock : Mutex.t; mutable c : int }
-type gauge = { g_lock : Mutex.t; mutable g : int }
-
-type histogram = {
-  h_lock : Mutex.t;
-  counts : int array; (* log2 µs buckets *)
-  mutable n : int;
-  mutable sum : float; (* seconds *)
-  mutable min_s : float;
-  mutable max_s : float;
-}
-
-type instrument =
-  | Counter of counter
-  | Gauge of gauge
-  | Histogram of histogram
-
-type t = { lock : Mutex.t; tbl : (string, instrument) Hashtbl.t }
-
-let create () = { lock = Mutex.create (); tbl = Hashtbl.create 32 }
-
-let locked lock f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-
-let register t name make cast =
-  locked t.lock (fun () ->
-      match Hashtbl.find_opt t.tbl name with
-      | Some i -> cast name i
-      | None ->
-        let i = make () in
-        Hashtbl.replace t.tbl name i;
-        cast name i)
-
-let wrong name = invalid_arg ("Metrics: instrument kind mismatch for " ^ name)
-
-let counter t name =
-  register t name
-    (fun () -> Counter { c_lock = Mutex.create (); c = 0 })
-    (fun name -> function Counter c -> c | _ -> wrong name)
-
-let incr ?(by = 1) c = locked c.c_lock (fun () -> c.c <- c.c + by)
-let count c = locked c.c_lock (fun () -> c.c)
-
-let gauge t name =
-  register t name
-    (fun () -> Gauge { g_lock = Mutex.create (); g = 0 })
-    (fun name -> function Gauge g -> g | _ -> wrong name)
-
-let set_gauge g v = locked g.g_lock (fun () -> g.g <- v)
-let gauge_value g = locked g.g_lock (fun () -> g.g)
-
-let histogram t name =
-  register t name
-    (fun () ->
-      Histogram
-        {
-          h_lock = Mutex.create ();
-          counts = Array.make buckets 0;
-          n = 0;
-          sum = 0.0;
-          min_s = infinity;
-          max_s = neg_infinity;
-        })
-    (fun name -> function Histogram h -> h | _ -> wrong name)
-
-let bucket_of_seconds s =
-  let us = s *. 1e6 in
-  if us < 1.0 then 0
-  else
-    let b = int_of_float (Float.log2 us) in
-    if b < 0 then 0 else if b >= buckets then buckets - 1 else b
-
-(* Upper edge of bucket [i], in seconds: 2^(i+1) µs. *)
-let bucket_upper i = Float.of_int (1 lsl (i + 1)) *. 1e-6
-
-let observe h s =
-  locked h.h_lock (fun () ->
-      let i = bucket_of_seconds s in
-      h.counts.(i) <- h.counts.(i) + 1;
-      h.n <- h.n + 1;
-      h.sum <- h.sum +. s;
-      if s < h.min_s then h.min_s <- s;
-      if s > h.max_s then h.max_s <- s)
-
-let time t name f =
-  let h = histogram t name in
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
-
-let samples h = locked h.h_lock (fun () -> h.n)
-
-let quantile h q =
-  locked h.h_lock (fun () ->
-      if h.n = 0 then None
-      else begin
-        let q = Float.max 0.0 (Float.min 1.0 q) in
-        let target = int_of_float (Float.round (q *. float_of_int (h.n - 1))) + 1 in
-        let rec scan i seen =
-          if i >= buckets then Some h.max_s
-          else
-            let seen = seen + h.counts.(i) in
-            if seen >= target then Some (Float.min (bucket_upper i) h.max_s)
-            else scan (i + 1) seen
-        in
-        scan 0 0
-      end)
-
-let mean h =
-  locked h.h_lock (fun () ->
-      if h.n = 0 then None else Some (h.sum /. float_of_int h.n))
-
-let us f = f *. 1e6
-
-let dump t =
-  let rows =
-    locked t.lock (fun () ->
-        Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.tbl [])
-  in
-  let render (name, i) =
-    match i with
-    | Counter c -> Printf.sprintf "%-32s %d" name (count c)
-    | Gauge g -> Printf.sprintf "%-32s %d (gauge)" name (gauge_value g)
-    | Histogram h ->
-      let n = samples h in
-      if n = 0 then Printf.sprintf "%-32s count=0" name
-      else
-        let get o = Option.value ~default:0.0 o in
-        Printf.sprintf
-          "%-32s count=%d mean=%.0fus p50=%.0fus p90=%.0fus max=%.0fus" name n
-          (us (get (mean h)))
-          (us (get (quantile h 0.5)))
-          (us (get (quantile h 0.9)))
-          (us (locked h.h_lock (fun () -> h.max_s)))
-    in
-  rows
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.map render
-  |> String.concat "\n"
-
-let reset t =
-  let instruments =
-    locked t.lock (fun () -> Hashtbl.fold (fun _ i acc -> i :: acc) t.tbl [])
-  in
-  List.iter
-    (function
-      | Counter c -> locked c.c_lock (fun () -> c.c <- 0)
-      | Gauge g -> locked g.g_lock (fun () -> g.g <- 0)
-      | Histogram h ->
-        locked h.h_lock (fun () ->
-            Array.fill h.counts 0 buckets 0;
-            h.n <- 0;
-            h.sum <- 0.0;
-            h.min_s <- infinity;
-            h.max_s <- neg_infinity))
-    instruments
+include Obs.Instrument

@@ -1,59 +1,8 @@
-(** A small counters/gauges/histograms registry.
+(** Counters, gauges and latency histograms — a re-export of
+    {!Obs.Instrument}, where the implementation moved so that the
+    tracing exporters ([Obs.Export_text]) can render instrument state
+    alongside span summaries. See {!Obs.Instrument} for the API. *)
 
-    Instruments are created (or looked up) by name in a registry; all
-    operations are thread-safe and cheap enough for hot paths. Latency
-    histograms bucket samples into powers of two of microseconds, so
-    percentile estimates are deterministic (no sampling) and domains can
-    record concurrently without coordination beyond the registry lock.
-
-    [dump] renders the whole registry as sorted text — the backing for
-    the server's [STATS] reply and `ivtool batch --stats`. *)
-
-type t
-
-type counter
-type gauge
-type histogram
-
-(** A fresh, empty registry. *)
-val create : unit -> t
-
-(** [counter t name] finds or registers a monotonic counter. *)
-val counter : t -> string -> counter
-
-val incr : ?by:int -> counter -> unit
-val count : counter -> int
-
-(** [gauge t name] finds or registers a last-value-wins gauge. *)
-val gauge : t -> string -> gauge
-
-val set_gauge : gauge -> int -> unit
-val gauge_value : gauge -> int
-
-(** [histogram t name] finds or registers a latency histogram
-    (samples in seconds). *)
-val histogram : t -> string -> histogram
-
-val observe : histogram -> float -> unit
-
-(** [time t name f] runs [f] and records its wall-clock duration in the
-    histogram [name]. The sample is recorded even if [f] raises. *)
-val time : t -> string -> (unit -> 'a) -> 'a
-
-(** Number of samples a histogram has seen. *)
-val samples : histogram -> int
-
-(** Approximate quantile (0 ≤ q ≤ 1) in seconds, from the power-of-two
-    buckets; [None] when the histogram is empty. *)
-val quantile : histogram -> float -> float option
-
-(** Mean sample in seconds; [None] when empty. *)
-val mean : histogram -> float option
-
-(** Render every instrument, sorted by name:
-    counters as [name value], gauges as [name value (gauge)], histograms
-    as [name count=… mean=… p50=… p90=… max=…] (times in µs). *)
-val dump : t -> string
-
-(** Forget every instrument's value (instruments stay registered). *)
-val reset : t -> unit
+include module type of struct
+  include Obs.Instrument
+end

@@ -29,26 +29,61 @@ let map ?timeout_s ?queue_depth ~domains f tasks =
   let n = Array.length tasks in
   let results = Array.make n (Failed "task never ran") in
   let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match queue_depth with
-         | Some g -> g (max 0 (n - i - 1))
-         | None -> ());
-        results.(i) <- run_task ?timeout_s f tasks.(i);
-        loop ()
-      end
+  let traced = Obs.Trace.enabled () in
+  let worker wid () =
+    let work () =
+      (* Time between claiming a slot and the previous task finishing is
+         the queue wait; with an atomic next-index it is contention only. *)
+      let rec loop () =
+        let claim_ns = if traced then Obs.Clock.now_ns () else 0L in
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match queue_depth with
+           | Some g -> g (max 0 (n - i - 1))
+           | None -> ());
+          (if traced then
+             Obs.Trace.with_span ~cat:"pool"
+               ~attrs:
+                 [ ("task", Obs.Trace.Int i);
+                   ("worker", Obs.Trace.Int wid);
+                   ( "queue_wait_us",
+                     Obs.Trace.Float
+                       (Obs.Clock.ns_to_us
+                          (Int64.sub (Obs.Clock.now_ns ()) claim_ns)) ) ]
+               "pool.task"
+               (fun () -> results.(i) <- run_task ?timeout_s f tasks.(i))
+           else results.(i) <- run_task ?timeout_s f tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
     in
-    loop ()
+    if traced then
+      Obs.Trace.with_span ~cat:"pool"
+        ~attrs:[ ("worker", Obs.Trace.Int wid) ]
+        "pool.worker" work
+    else work ()
   in
   let d = max 1 (min domains n) in
-  if d <= 1 then worker ()
-  else begin
-    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned
-  end;
+  let body () =
+    if d <= 1 then worker 0 ()
+    else begin
+      let spawned =
+        Obs.Trace.with_span ~cat:"pool"
+          ~attrs:[ ("domains", Obs.Trace.Int (d - 1)) ]
+          "pool.spawn"
+          (fun () -> List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))))
+      in
+      worker 0 ();
+      Obs.Trace.with_span ~cat:"pool" "pool.join" (fun () ->
+          List.iter Domain.join spawned)
+    end
+  in
+  if traced then
+    Obs.Trace.with_span ~cat:"pool"
+      ~attrs:[ ("tasks", Obs.Trace.Int n); ("domains", Obs.Trace.Int d) ]
+      "pool.map" body
+  else body ();
   results
 
 let map_list ?timeout_s ?queue_depth ~domains f tasks =

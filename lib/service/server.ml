@@ -33,6 +33,14 @@ let handle engine line =
   | "", None -> Err "empty request"
   | "QUIT", None -> Bye
   | "STATS", None -> Ok_payload (Engine.stats_report engine)
+  | "TRACE", None -> (
+    (* Drain whatever the ambient collector holds since the last TRACE
+       (or since startup) as a Chrome trace-event JSON document. *)
+    match Obs.Trace.current () with
+    | None -> Err "tracing is not enabled in this server"
+    | Some t ->
+      let spans, events = Obs.Trace.drain t in
+      Ok_payload (Obs.Export_chrome.render_parts spans events))
   | "RESET", None ->
     Engine.clear engine;
     Ok_payload "reset\n"
@@ -49,7 +57,7 @@ let handle engine line =
     artifact_reply engine artifact path
   | (("CLASSIFY" | "DEPS" | "TRIP" | "INVALIDATE") as cmd), None ->
     Err (cmd ^ " needs a file argument")
-  | (("QUIT" | "STATS" | "RESET") as cmd), Some _ ->
+  | (("QUIT" | "STATS" | "RESET" | "TRACE") as cmd), Some _ ->
     Err (cmd ^ " takes no argument")
   | cmd, _ -> Err ("unknown command " ^ cmd)
 
@@ -69,7 +77,19 @@ let run engine ic oc =
     | exception End_of_file -> output_string oc (reply_to_string Bye)
     | line ->
       Metrics.incr requests;
-      let reply = try handle engine line with e -> Err (Printexc.to_string e) in
+      let verb, _ = split_command (String.trim line) in
+      let reply =
+        try
+          (* TRACE drains the collector, so its own span would be left
+             open inside the payload: serve it unspanned. *)
+          if verb = "TRACE" || not (Obs.Trace.enabled ()) then handle engine line
+          else
+            Obs.Trace.with_span ~cat:"server"
+              ~attrs:[ ("verb", Obs.Trace.Str verb) ]
+              "server.request"
+              (fun () -> handle engine line)
+        with e -> Err (Printexc.to_string e)
+      in
       output_string oc (reply_to_string reply);
       flush oc;
       (match reply with Bye -> () | _ -> loop ())

@@ -38,4 +38,6 @@ let () =
       Test_cache.suite;
       Test_pool.suite;
       Test_server.suite;
+      Test_trace.suite;
+      Test_explain.suite;
     ]
