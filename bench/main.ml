@@ -462,6 +462,7 @@ let b1_corpus n =
 type b1_run = {
   domains : int;
   cache : string; (* "cold" | "warm" *)
+  pool : bool; (* resident worker pool vs spawn-per-pass *)
   seconds : float;
   files_per_sec : float;
   hits : int;
@@ -470,9 +471,11 @@ type b1_run = {
 
 let b1_artifacts = [ Service.Engine.Classify; Service.Engine.Deps; Service.Engine.Trip ]
 
-let b1_time_pass ~domains ~engine items =
+let b1_time_pass ?pool ~domains ~engine items =
   let t0 = Unix.gettimeofday () in
-  let results = Service.Batch.run ~domains ~engine ~artifacts:b1_artifacts items in
+  let results =
+    Service.Batch.run ?pool ~domains ~engine ~artifacts:b1_artifacts items
+  in
   let dt = Unix.gettimeofday () -. t0 in
   List.iter
     (fun ((item : Service.Batch.item), r) ->
@@ -485,41 +488,57 @@ let b1_time_pass ~domains ~engine items =
 let b1_runs ~corpus_size ~reps ~domain_counts =
   let items = b1_corpus corpus_size in
   let n = float_of_int corpus_size in
+  let measure ~domains ~use_pool =
+    (* Best-of-[reps], with a fresh engine per cold rep so the cold
+       measurement never sees a warm cache. With [use_pool] the workers
+       are spawned once, outside the timed region — the resident-pool
+       deployment shape. *)
+    let best f =
+      List.fold_left (fun acc _ -> Float.min acc (f ())) infinity
+        (List.init reps Fun.id)
+    in
+    let pool =
+      if use_pool then Some (Service.Pool.create ~domains ()) else None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Service.Pool.shutdown pool)
+      (fun () ->
+        let last_engine = ref (Service.Engine.create ~capacity:4096 ()) in
+        let cold =
+          best (fun () ->
+              last_engine := Service.Engine.create ~capacity:4096 ();
+              b1_time_pass ?pool ~domains ~engine:!last_engine items)
+        in
+        let cold_stats = Service.Engine.cache_stats !last_engine in
+        let warm =
+          best (fun () -> b1_time_pass ?pool ~domains ~engine:!last_engine items)
+        in
+        let warm_stats = Service.Engine.cache_stats !last_engine in
+        [
+          {
+            domains;
+            cache = "cold";
+            pool = use_pool;
+            seconds = cold;
+            files_per_sec = n /. cold;
+            hits = cold_stats.Service.Cache.hits;
+            misses = cold_stats.Service.Cache.misses;
+          };
+          {
+            domains;
+            cache = "warm";
+            pool = use_pool;
+            seconds = warm;
+            files_per_sec = n /. warm;
+            hits = warm_stats.Service.Cache.hits - cold_stats.Service.Cache.hits;
+            misses = warm_stats.Service.Cache.misses - cold_stats.Service.Cache.misses;
+          };
+        ])
+  in
   List.concat_map
     (fun domains ->
-      (* Best-of-[reps], with a fresh engine per cold rep so the cold
-         measurement never sees a warm cache. *)
-      let best f =
-        List.fold_left (fun acc _ -> Float.min acc (f ())) infinity
-          (List.init reps Fun.id)
-      in
-      let last_engine = ref (Service.Engine.create ~capacity:4096 ()) in
-      let cold =
-        best (fun () ->
-            last_engine := Service.Engine.create ~capacity:4096 ();
-            b1_time_pass ~domains ~engine:!last_engine items)
-      in
-      let cold_stats = Service.Engine.cache_stats !last_engine in
-      let warm = best (fun () -> b1_time_pass ~domains ~engine:!last_engine items) in
-      let warm_stats = Service.Engine.cache_stats !last_engine in
-      [
-        {
-          domains;
-          cache = "cold";
-          seconds = cold;
-          files_per_sec = n /. cold;
-          hits = cold_stats.Service.Cache.hits;
-          misses = cold_stats.Service.Cache.misses;
-        };
-        {
-          domains;
-          cache = "warm";
-          seconds = warm;
-          files_per_sec = n /. warm;
-          hits = warm_stats.Service.Cache.hits - cold_stats.Service.Cache.hits;
-          misses = warm_stats.Service.Cache.misses - cold_stats.Service.Cache.misses;
-        };
-      ])
+      measure ~domains ~use_pool:false
+      @ (if domains > 1 then measure ~domains ~use_pool:true else []))
     domain_counts
 
 (* --- per-phase breakdown (lib/obs tracing) ---
@@ -534,6 +553,7 @@ let b1_runs ~corpus_size ~reps ~domain_counts =
 type b1_phases = {
   p_domains : int;
   p_cache : string;
+  p_pool : bool;
   wall_us : float;
   spawn_us : float;
   join_us : float;
@@ -542,10 +562,11 @@ type b1_phases = {
   compute_us : float;
 }
 
-let b1_phase_breakdown ~domains ~engine ~cache items =
+let b1_phase_breakdown ?pool ~domains ~engine ~cache items =
   let (), t =
     Obs.Trace.collect (fun () ->
-        ignore (Service.Batch.run ~domains ~engine ~artifacts:b1_artifacts items))
+        ignore
+          (Service.Batch.run ?pool ~domains ~engine ~artifacts:b1_artifacts items))
   in
   let spans = Obs.Trace.spans t in
   let dur (s : Obs.Trace.span) =
@@ -570,6 +591,7 @@ let b1_phase_breakdown ~domains ~engine ~cache items =
   {
     p_domains = domains;
     p_cache = cache;
+    p_pool = pool <> None;
     wall_us = sum "batch.pass";
     spawn_us = sum "pool.spawn";
     join_us = sum "pool.join";
@@ -584,20 +606,39 @@ let b1_phase_runs ~domain_counts items =
       let engine = Service.Engine.create ~capacity:4096 () in
       let cold = b1_phase_breakdown ~domains ~engine ~cache:"cold" items in
       let warm = b1_phase_breakdown ~domains ~engine ~cache:"warm" items in
-      [ cold; warm ])
+      let pooled =
+        if domains <= 1 then []
+        else begin
+          (* Workers spawned outside the collected region: the spawn and
+             join spans vanish from the pooled breakdown by design. *)
+          let pool = Service.Pool.create ~domains () in
+          Fun.protect
+            ~finally:(fun () -> Service.Pool.shutdown pool)
+            (fun () ->
+              let engine = Service.Engine.create ~capacity:4096 () in
+              let pcold =
+                b1_phase_breakdown ~pool ~domains ~engine ~cache:"cold" items
+              in
+              let pwarm =
+                b1_phase_breakdown ~pool ~domains ~engine ~cache:"warm" items
+              in
+              [ pcold; pwarm ])
+        end
+      in
+      (cold :: warm :: pooled))
     domain_counts
 
 let b1_json ~corpus_size runs phases =
   let run_json r =
     Printf.sprintf
-      "    {\"domains\": %d, \"cache\": \"%s\", \"seconds\": %.6f, \"files_per_sec\": %.1f, \"cache_hits\": %d, \"cache_misses\": %d}"
-      r.domains r.cache r.seconds r.files_per_sec r.hits r.misses
+      "    {\"domains\": %d, \"cache\": \"%s\", \"pool\": %b, \"seconds\": %.6f, \"files_per_sec\": %.1f, \"cache_hits\": %d, \"cache_misses\": %d}"
+      r.domains r.cache r.pool r.seconds r.files_per_sec r.hits r.misses
   in
   let phase_json p =
     Printf.sprintf
-      "    {\"domains\": %d, \"cache\": \"%s\", \"wall_us\": %.1f, \"spawn_us\": %.1f, \"join_us\": %.1f, \"task_us\": %.1f, \"queue_wait_us\": %.1f, \"compute_us\": %.1f}"
-      p.p_domains p.p_cache p.wall_us p.spawn_us p.join_us p.task_us p.queue_us
-      p.compute_us
+      "    {\"domains\": %d, \"cache\": \"%s\", \"pool\": %b, \"wall_us\": %.1f, \"spawn_us\": %.1f, \"join_us\": %.1f, \"task_us\": %.1f, \"queue_wait_us\": %.1f, \"compute_us\": %.1f}"
+      p.p_domains p.p_cache p.p_pool p.wall_us p.spawn_us p.join_us p.task_us
+      p.queue_us p.compute_us
   in
   String.concat "\n"
     [
@@ -629,17 +670,21 @@ let experiment_b1 ~smoke () =
     corpus_size (List.length b1_artifacts) reps;
   List.iter
     (fun r ->
-      Printf.printf "  domains=%d %-4s %8.4fs %8.1f files/s  hits=%d misses=%d\n"
-        r.domains r.cache r.seconds r.files_per_sec r.hits r.misses)
+      Printf.printf
+        "  domains=%d %-4s %-5s %8.4fs %8.1f files/s  hits=%d misses=%d\n"
+        r.domains r.cache
+        (if r.pool then "pool" else "spawn")
+        r.seconds r.files_per_sec r.hits r.misses)
     runs;
   let phases = b1_phase_runs ~domain_counts (b1_corpus corpus_size) in
   print_endline "   per-phase (one traced pass each; times are summed span µs):";
   List.iter
     (fun p ->
       Printf.printf
-        "  domains=%d %-4s wall=%8.0f spawn=%7.0f join=%7.0f task=%8.0f queue=%6.0f compute=%8.0f\n"
-        p.p_domains p.p_cache p.wall_us p.spawn_us p.join_us p.task_us p.queue_us
-        p.compute_us)
+        "  domains=%d %-4s %-5s wall=%8.0f spawn=%7.0f join=%7.0f task=%8.0f queue=%6.0f compute=%8.0f\n"
+        p.p_domains p.p_cache
+        (if p.p_pool then "pool" else "spawn")
+        p.wall_us p.spawn_us p.join_us p.task_us p.queue_us p.compute_us)
     phases;
   let json = b1_json ~corpus_size runs phases in
   let oc = open_out "BENCH_service.json" in

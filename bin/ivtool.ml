@@ -26,6 +26,7 @@
 
      ivtool batch FILES...   — analyze a corpus in parallel
      ivtool serve            — persistent line protocol on stdin/stdout
+     ivtool passes FILE      — the pass DAG with forced/lazy status
 
    Exit codes: 0 success; 1 usage error (unknown subcommand, bad flags,
    missing input file); 2 parse or analysis error. All diagnostics are
@@ -223,8 +224,19 @@ let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats trace_file
   let results =
     traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
       (fun () ->
-        Service.Batch.run ?timeout_s:timeout ~passes:repeat ~domains:jobs ~engine
-          ~artifacts items)
+        (* One resident pool across every --repeat pass: the workers are
+           spawned once, not once per pass. *)
+        if jobs > 1 then begin
+          let pool = Service.Pool.create ~domains:jobs () in
+          Fun.protect
+            ~finally:(fun () -> Service.Pool.shutdown pool)
+            (fun () ->
+              Service.Batch.run ?timeout_s:timeout ~passes:repeat ~pool
+                ~domains:jobs ~engine ~artifacts items)
+        end
+        else
+          Service.Batch.run ?timeout_s:timeout ~passes:repeat ~domains:jobs
+            ~engine ~artifacts items)
   in
   let failures = ref 0 in
   List.iter
@@ -240,12 +252,31 @@ let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats trace_file
   if !failures > 0 then
     fatal 2 "%d of %d files failed" !failures (List.length results)
 
-let cmd_serve cache_size no_sccp =
+let cmd_serve jobs cache_size no_sccp =
   let engine = engine_of ~no_sccp ~cache_size () in
   (* Serve mode always collects: the TRACE verb drains this collector,
      and its record limit bounds memory between drains. *)
   Obs.Trace.install (Obs.Trace.create ());
-  Service.Server.run engine stdin stdout
+  if jobs > 1 then begin
+    let pool = Service.Pool.create ~domains:jobs () in
+    Fun.protect
+      ~finally:(fun () -> Service.Pool.shutdown pool)
+      (fun () -> Service.Server.run ~pool engine stdin stdout)
+  end
+  else Service.Server.run engine stdin stdout
+
+(* --- passes: the pass DAG with forced/lazy status --- *)
+
+let cmd_passes no_sccp force file =
+  let engine = engine_of ~no_sccp () in
+  let src = read_file file in
+  List.iter
+    (fun a ->
+      match Service.Engine.render engine a src with
+      | Ok _ -> ()
+      | Error msg -> fatal 2 "%s" msg)
+    (match force with None -> [] | Some spec -> parse_artifacts spec);
+  print_string (Service.Engine.passes_report engine src)
 
 (* --- explain: classification provenance --- *)
 
@@ -391,10 +422,29 @@ let batch_cmd =
           $ no_sccp_flag $ stats $ trace_flag $ trace_summary_flag $ files)
 
 let serve_cmd =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Resident worker domains for BATCH requests (1 = none).")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve CLASSIFY/DEPS/TRIP/STATS requests over stdin/stdout (see docs/SERVICE.md).")
-    Term.(const cmd_serve $ cache_size_flag $ no_sccp_flag)
+       ~doc:"Serve CLASSIFY/DEPS/TRIP/BATCH/STATS requests over stdin/stdout \
+             (see docs/SERVICE.md).")
+    Term.(const cmd_serve $ jobs $ cache_size_flag $ no_sccp_flag)
+
+let passes_cmd =
+  let force =
+    Arg.(value & opt (some string) None
+         & info [ "force" ] ~docv:"LIST"
+             ~doc:"Force these artifacts first (classify, deps, trip, or all), \
+                   then report which passes ran.")
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"Print the analysis pass DAG for a file: each pass's inputs, \
+             forced/lazy status and result digest.")
+    Term.(const cmd_passes $ no_sccp_flag $ force $ file_arg)
 
 let () =
   let info =
@@ -424,6 +474,7 @@ let () =
       run_cmd;
       batch_cmd;
       serve_cmd;
+      passes_cmd;
     ]
   in
   let exit_code =

@@ -1,24 +1,25 @@
-(* The whole-program analysis driver (paper §5.3): classify loops from
-   the innermost out, computing trip counts and symbolic exit values as
-   each countable loop completes so that enclosing loops see inner loops
-   as closed-form updates; finally, walk back outer-to-inner and rewrite
-   inner initial values that are outer-loop induction variables into the
-   paper's nested multiloop tuples. *)
+(* The whole-program analysis driver — a thin façade over
+   Analysis.Pipeline, which owns the staged algorithm (the inner-to-
+   outer classification walk, trip counts, exit values, multiloop
+   promotion). The driver keeps the query surface: classification
+   lookups by def / SSA name and the global (whole-nest) resolution
+   that dependence testing needs. *)
 
-
-type loop_result = {
+type loop_result = Pipeline.loop_result = {
   loop : Ir.Loops.loop;
   table : Ivclass.t Ir.Instr.Id.Table.t;
   graph : Ssa_graph.t;
   trip : Trip_count.t;
 }
 
-type t = {
+type t = Pipeline.analysis = {
   ssa : Ir.Ssa.t;
   sccp : Sccp.result option;
   by_loop : loop_result option array; (* indexed by loop id *)
   exit_values : Sym.t Ir.Instr.Id.Table.t;
 }
+
+let of_analysis (a : Pipeline.analysis) : t = a
 
 let ssa t = t.ssa
 let sccp t = t.sccp
@@ -104,218 +105,16 @@ and global_class_of_sym t (s : Sym.t) : Ivclass.t =
     (Ivclass.Invariant Sym.zero)
     (s : (Sym.mono * Bignum.Rat.t) list)
 
-(* --- exit values (§5.3) --- *)
+(* --- entry point (delegates to the staged pipeline) --- *)
 
-let compute_exit_values (t : t) (r : loop_result) =
-  match (Trip_count.count_sym r.trip, r.trip.Trip_count.exit_block) with
-  | Some tc, Some exit_block ->
-    let cfg = Ir.Ssa.cfg t.ssa in
-    let dom = Ir.Ssa.dom t.ssa in
-    let tc_int =
-      match Trip_count.count_int r.trip with Some n -> Some n | None -> None
-    in
-    List.iter
-      (fun (instr : Ir.Instr.t) ->
-        let d = instr.Ir.Instr.id in
-        match Ir.Instr.Id.Table.find_opt r.table d with
-        | None | Some Ivclass.Unknown | Some (Ivclass.Monotonic _) -> ()
-        | Some c ->
-          let block = Ir.Cfg.block_of_instr cfg d in
-          (* Code not dominated by the exit test runs tc+1 times (last
-             iteration index tc); code dominated by it and executed every
-             stay-iteration runs tc times (last index tc-1). *)
-          let above = Ir.Dom.dominates dom block exit_block in
-          let below =
-            (not (Ir.Label.equal block exit_block))
-            && Ir.Dom.dominates dom exit_block block
-            && List.for_all
-                 (fun latch -> Ir.Dom.dominates dom block latch)
-                 r.loop.Ir.Loops.latches
-          in
-          let h_sym =
-            if above then Some tc
-            else if below then begin
-              match tc_int with
-              | Some 0 -> None (* the body below the test never ran *)
-              | _ -> Some (Sym.sub tc Sym.one)
-            end
-            else None
-          in
-          let exit_sym =
-            match h_sym with
-            | None -> None
-            | Some h -> (
-              match Algebra.sym_at_sym c h with
-              | Some s -> Some s
-              | None -> (
-                (* Non-polynomial closed forms still evaluate at a
-                   concrete trip count. *)
-                match tc_int with
-                | Some n ->
-                  let h_int = if above then n else n - 1 in
-                  if h_int < 0 then None else Algebra.sym_at c h_int
-                | None -> None))
-          in
-          (match exit_sym with
-           | Some s -> Ir.Instr.Id.Table.replace t.exit_values d s
-           | None -> ()))
-      (Ssa_graph.nodes r.graph)
-  | _ -> ()
-
-(* --- multiloop promotion (§5.3 and Figs 8-9) --- *)
-
-let promote (t : t) =
-  let loops = Ir.Ssa.loops t.ssa in
-  (* Outer loops first, so inner promotions can nest through them. *)
-  let rec preorder id acc =
-    let lp = Ir.Loops.loop loops id in
-    List.fold_left (fun acc c -> preorder c acc) (id :: acc) lp.Ir.Loops.loop_children
-  in
-  let order = List.rev (List.fold_left (fun acc r -> preorder r acc) [] (Ir.Loops.roots loops)) in
-  List.iter
-    (fun id ->
-      let lp = Ir.Loops.loop loops id in
-      match (lp.Ir.Loops.parent, t.by_loop.(id)) with
-      | Some parent_id, Some r -> (
-        match t.by_loop.(parent_id) with
-        | None -> ()
-        | Some parent_r ->
-          let parent_ctx =
-            {
-              Classify.ssa = t.ssa;
-              loop = parent_r.loop;
-              graph = parent_r.graph;
-              table = parent_r.table;
-              outer_const = (fun _ -> None);
-              inner_exit = (fun d -> Ir.Instr.Id.Table.find_opt t.exit_values d);
-            }
-          in
-          let entries =
-            Ir.Instr.Id.Table.fold (fun d c acc -> (d, c) :: acc) r.table []
-          in
-          List.iter
-            (fun (d, c) ->
-              match c with
-              | Ivclass.Linear { loop; base = Ivclass.Invariant s; step }
-                when not (Sym.is_const s) -> (
-                let base_class = Classify.class_of_sym parent_ctx s in
-                let step_inv =
-                  match Classify.class_of_sym parent_ctx step with
-                  | Ivclass.Invariant _ -> true
-                  | _ -> false
-                in
-                match base_class with
-                | Ivclass.Linear _ | Ivclass.Poly _ | Ivclass.Geometric _
-                  when step_inv ->
-                  Ir.Instr.Id.Table.replace r.table d
-                    (Ivclass.Linear { loop; base = base_class; step })
-                | _ -> ())
-              | _ -> ())
-            entries)
-      | _ -> ())
-    order
-
-(* --- entry point --- *)
-
-(* [analyze ssa] classifies every loop of the program. [use_sccp]
-   (default true) runs conditional constant propagation first and feeds
-   proven constants into symbolic initial values. *)
-let analyze ?(use_sccp = true) (ssa : Ir.Ssa.t) : t =
-  Obs.Trace.with_span ~cat:"pipeline" "pipeline.analyze" @@ fun () ->
-  let sccp =
-    if use_sccp then
-      Some (Obs.Trace.with_span ~cat:"pipeline" "pipeline.sccp" (fun () -> Sccp.run ssa))
-    else None
-  in
-  let outer_const =
-    match sccp with
-    | Some r -> fun d -> Option.map Sym.of_int (Sccp.const_of r d)
-    | None -> fun _ -> None
-  in
-  let loops = Ir.Ssa.loops ssa in
-  let t =
-    {
-      ssa;
-      sccp;
-      by_loop = Array.make (Ir.Loops.num_loops loops) None;
-      exit_values = Ir.Instr.Id.Table.create 64;
-    }
-  in
-  let inner_exit d = Ir.Instr.Id.Table.find_opt t.exit_values d in
-  List.iter
-    (fun (lp : Ir.Loops.loop) ->
-      Obs.Trace.with_span ~cat:"pipeline"
-        ~attrs:
-          [ ("loop", Obs.Trace.Str lp.Ir.Loops.name);
-            ("depth", Obs.Trace.Int lp.Ir.Loops.depth) ]
-        "pipeline.classify_loop"
-      @@ fun () ->
-      let table, graph = Classify.classify_loop ~outer_const ~inner_exit ssa lp in
-      let ctx =
-        { Classify.ssa; loop = lp; graph; table; outer_const; inner_exit }
-      in
-      let trip =
-        Obs.Trace.with_span ~cat:"pipeline"
-          ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
-          "pipeline.trip_count"
-          (fun () -> Trip_count.compute ctx)
-      in
-      let r = { loop = lp; table; graph; trip } in
-      t.by_loop.(lp.Ir.Loops.id) <- Some r;
-      Obs.Trace.with_span ~cat:"pipeline"
-        ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
-        "pipeline.exit_values"
-        (fun () -> compute_exit_values t r))
-    (Ir.Loops.postorder loops);
-  Obs.Trace.with_span ~cat:"pipeline" "pipeline.promote" (fun () -> promote t);
-  t
+let analyze ?use_sccp (ssa : Ir.Ssa.t) : t = Pipeline.run ?use_sccp ssa
 
 (* --- reporting --- *)
 
-let namer t : Ivclass.namer =
-  let loops = Ir.Ssa.loops t.ssa in
-  {
-    Ivclass.loop_name =
-      (fun id ->
-        if id >= 0 && id < Ir.Loops.num_loops loops then
-          (Ir.Loops.loop loops id).Ir.Loops.name
-        else "L?");
-    atom_name =
-      (fun a ->
-        match a with
-        | Sym.Param x -> Ir.Ident.name x
-        | Sym.Def id -> Ir.Ssa.primary_name t.ssa id);
-  }
-
+let namer t : Ivclass.namer = Pipeline.namer_of t
 let class_to_string t c = Ivclass.to_string_with (namer t) c
-
-let pp_report fmt t =
-  let nm = namer t in
-  let loops = Ir.Ssa.loops t.ssa in
-  Format.fprintf fmt "@[<v>";
-  List.iter
-    (fun (lp : Ir.Loops.loop) ->
-      match t.by_loop.(lp.Ir.Loops.id) with
-      | None -> ()
-      | Some r ->
-        Format.fprintf fmt "@[<v 2>loop %s (depth %d, trip count %a):@,"
-          lp.Ir.Loops.name lp.Ir.Loops.depth
-          (Trip_count.pp_with (fun id -> Ir.Ssa.primary_name t.ssa id))
-          r.trip;
-        List.iter
-          (fun (instr : Ir.Instr.t) ->
-            let name = Ir.Ssa.primary_name t.ssa instr.Ir.Instr.id in
-            let c =
-              Option.value ~default:Ivclass.Unknown
-                (Ir.Instr.Id.Table.find_opt r.table instr.Ir.Instr.id)
-            in
-            Format.fprintf fmt "%-8s %a@," name (Ivclass.pp_with nm) c)
-          (Ssa_graph.nodes r.graph);
-        Format.fprintf fmt "@]@,")
-    (Ir.Loops.postorder loops);
-  Format.fprintf fmt "@]"
-
-let report t = Format.asprintf "%a" pp_report t
+let pp_report fmt t = Pipeline.pp_report fmt t
+let report t = Pipeline.report_of t
 
 (* [analyze_source src] parses, lowers, converts to SSA and analyzes. *)
 let analyze_source ?use_sccp src = analyze ?use_sccp (Ir.Ssa.of_source src)

@@ -3,7 +3,7 @@
     countable inner loop, then promote inner initial values that are
     outer-loop IVs into the paper's nested multiloop tuples. *)
 
-type loop_result = {
+type loop_result = Pipeline.loop_result = {
   loop : Ir.Loops.loop;
   table : Ivclass.t Ir.Instr.Id.Table.t;
   graph : Ssa_graph.t;
@@ -11,6 +11,10 @@ type loop_result = {
 }
 
 type t
+
+(** View a {!Pipeline.analysis} through the driver's query surface (the
+    two are the same data; the driver is a façade over the pipeline). *)
+val of_analysis : Pipeline.analysis -> t
 
 val ssa : t -> Ir.Ssa.t
 

@@ -1,0 +1,588 @@
+(* The demand-driven analysis pipeline.
+
+   The staged algorithm (loopwalk / promote / run) is the former
+   Driver.analyze, moved here verbatim so the driver can become a thin
+   façade; the lazy instance below adds per-pass memoization with
+   stable result digests for the service layer's cache keys. *)
+
+(* -- the pass DAG -- *)
+
+type pass =
+  | Parse
+  | Lower
+  | Ssa
+  | Looptree
+  | Sccp
+  | Classify
+  | Trip
+  | Promote
+  | Depgraph
+
+let all = [ Parse; Lower; Ssa; Looptree; Sccp; Classify; Trip; Promote; Depgraph ]
+
+let name = function
+  | Parse -> "parse"
+  | Lower -> "lower"
+  | Ssa -> "ssa"
+  | Looptree -> "looptree"
+  | Sccp -> "sccp"
+  | Classify -> "classify"
+  | Trip -> "trip"
+  | Promote -> "promote"
+  | Depgraph -> "depgraph"
+
+let of_name = function
+  | "parse" -> Some Parse
+  | "lower" -> Some Lower
+  | "ssa" -> Some Ssa
+  | "looptree" -> Some Looptree
+  | "sccp" -> Some Sccp
+  | "classify" -> Some Classify
+  | "trip" -> Some Trip
+  | "promote" -> Some Promote
+  | "depgraph" -> Some Depgraph
+  | _ -> None
+
+(* Ssa depends on Parse, not Lower: SSA conversion mutates the CFG it
+   consumes, so the Lower pass keeps the pristine pre-SSA view and the
+   SSA pass lowers its own copy from the AST. *)
+let inputs = function
+  | Parse -> []
+  | Lower -> [ Parse ]
+  | Ssa -> [ Parse ]
+  | Looptree -> [ Ssa ]
+  | Sccp -> [ Ssa ]
+  | Classify -> [ Looptree; Sccp ]
+  | Trip -> [ Classify ]
+  | Promote -> [ Classify ]
+  | Depgraph -> [ Promote ]
+
+let description = function
+  | Parse -> "source text -> AST"
+  | Lower -> "AST -> pre-SSA control-flow graph"
+  | Ssa -> "AST -> SSA form (CFG, dominators, loop forest)"
+  | Looptree -> "SSA -> loop-nesting forest"
+  | Sccp -> "conditional constant propagation"
+  | Classify -> "per-loop IV classification, trip counts, exit values"
+  | Trip -> "trip-count report"
+  | Promote -> "multiloop promotion (nested IV tuples)"
+  | Depgraph -> "dependence graph (service layer)"
+
+(* -- options -- *)
+
+type options = { use_sccp : bool }
+
+let default_options = { use_sccp = true }
+
+(* -- the analysis payload -- *)
+
+type loop_result = {
+  loop : Ir.Loops.loop;
+  table : Ivclass.t Ir.Instr.Id.Table.t;
+  graph : Ssa_graph.t;
+  trip : Trip_count.t;
+}
+
+type analysis = {
+  ssa : Ir.Ssa.t;
+  sccp : Sccp.result option;
+  by_loop : loop_result option array; (* indexed by loop id *)
+  exit_values : Sym.t Ir.Instr.Id.Table.t;
+}
+
+(* -- exit values (paper §5.3) -- *)
+
+let compute_exit_values (t : analysis) (r : loop_result) =
+  match (Trip_count.count_sym r.trip, r.trip.Trip_count.exit_block) with
+  | Some tc, Some exit_block ->
+    let cfg = Ir.Ssa.cfg t.ssa in
+    let dom = Ir.Ssa.dom t.ssa in
+    let tc_int =
+      match Trip_count.count_int r.trip with Some n -> Some n | None -> None
+    in
+    List.iter
+      (fun (instr : Ir.Instr.t) ->
+        let d = instr.Ir.Instr.id in
+        match Ir.Instr.Id.Table.find_opt r.table d with
+        | None | Some Ivclass.Unknown | Some (Ivclass.Monotonic _) -> ()
+        | Some c ->
+          let block = Ir.Cfg.block_of_instr cfg d in
+          (* Code not dominated by the exit test runs tc+1 times (last
+             iteration index tc); code dominated by it and executed every
+             stay-iteration runs tc times (last index tc-1). *)
+          let above = Ir.Dom.dominates dom block exit_block in
+          let below =
+            (not (Ir.Label.equal block exit_block))
+            && Ir.Dom.dominates dom exit_block block
+            && List.for_all
+                 (fun latch -> Ir.Dom.dominates dom block latch)
+                 r.loop.Ir.Loops.latches
+          in
+          let h_sym =
+            if above then Some tc
+            else if below then begin
+              match tc_int with
+              | Some 0 -> None (* the body below the test never ran *)
+              | _ -> Some (Sym.sub tc Sym.one)
+            end
+            else None
+          in
+          let exit_sym =
+            match h_sym with
+            | None -> None
+            | Some h -> (
+              match Algebra.sym_at_sym c h with
+              | Some s -> Some s
+              | None -> (
+                (* Non-polynomial closed forms still evaluate at a
+                   concrete trip count. *)
+                match tc_int with
+                | Some n ->
+                  let h_int = if above then n else n - 1 in
+                  if h_int < 0 then None else Algebra.sym_at c h_int
+                | None -> None))
+          in
+          (match exit_sym with
+           | Some s -> Ir.Instr.Id.Table.replace t.exit_values d s
+           | None -> ()))
+      (Ssa_graph.nodes r.graph)
+  | _ -> ()
+
+(* -- the inner-to-outer classification walk (§5.2–5.3) -- *)
+
+let loopwalk ?sccp (ssa : Ir.Ssa.t) : analysis =
+  let outer_const =
+    match sccp with
+    | Some r -> fun d -> Option.map Sym.of_int (Sccp.const_of r d)
+    | None -> fun _ -> None
+  in
+  let loops = Ir.Ssa.loops ssa in
+  let t =
+    {
+      ssa;
+      sccp;
+      by_loop = Array.make (Ir.Loops.num_loops loops) None;
+      exit_values = Ir.Instr.Id.Table.create 64;
+    }
+  in
+  let inner_exit d = Ir.Instr.Id.Table.find_opt t.exit_values d in
+  List.iter
+    (fun (lp : Ir.Loops.loop) ->
+      Obs.Trace.with_span ~cat:"pipeline"
+        ~attrs:
+          [ ("loop", Obs.Trace.Str lp.Ir.Loops.name);
+            ("depth", Obs.Trace.Int lp.Ir.Loops.depth) ]
+        "pipeline.classify_loop"
+      @@ fun () ->
+      let table, graph = Classify.classify_loop ~outer_const ~inner_exit ssa lp in
+      let ctx =
+        { Classify.ssa; loop = lp; graph; table; outer_const; inner_exit }
+      in
+      let trip =
+        Obs.Trace.with_span ~cat:"pipeline"
+          ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
+          "pipeline.trip_count"
+          (fun () -> Trip_count.compute ctx)
+      in
+      let r = { loop = lp; table; graph; trip } in
+      t.by_loop.(lp.Ir.Loops.id) <- Some r;
+      Obs.Trace.with_span ~cat:"pipeline"
+        ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
+        "pipeline.exit_values"
+        (fun () -> compute_exit_values t r))
+    (Ir.Loops.postorder loops);
+  t
+
+(* -- multiloop promotion (§5.3 and Figs 8-9) -- *)
+
+let promote (t : analysis) =
+  let loops = Ir.Ssa.loops t.ssa in
+  (* Outer loops first, so inner promotions can nest through them. *)
+  let rec preorder id acc =
+    let lp = Ir.Loops.loop loops id in
+    List.fold_left (fun acc c -> preorder c acc) (id :: acc) lp.Ir.Loops.loop_children
+  in
+  let order = List.rev (List.fold_left (fun acc r -> preorder r acc) [] (Ir.Loops.roots loops)) in
+  List.iter
+    (fun id ->
+      let lp = Ir.Loops.loop loops id in
+      match (lp.Ir.Loops.parent, t.by_loop.(id)) with
+      | Some parent_id, Some r -> (
+        match t.by_loop.(parent_id) with
+        | None -> ()
+        | Some parent_r ->
+          let parent_ctx =
+            {
+              Classify.ssa = t.ssa;
+              loop = parent_r.loop;
+              graph = parent_r.graph;
+              table = parent_r.table;
+              outer_const = (fun _ -> None);
+              inner_exit = (fun d -> Ir.Instr.Id.Table.find_opt t.exit_values d);
+            }
+          in
+          let entries =
+            Ir.Instr.Id.Table.fold (fun d c acc -> (d, c) :: acc) r.table []
+          in
+          List.iter
+            (fun (d, c) ->
+              match c with
+              | Ivclass.Linear { loop; base = Ivclass.Invariant s; step }
+                when not (Sym.is_const s) -> (
+                let base_class = Classify.class_of_sym parent_ctx s in
+                let step_inv =
+                  match Classify.class_of_sym parent_ctx step with
+                  | Ivclass.Invariant _ -> true
+                  | _ -> false
+                in
+                match base_class with
+                | Ivclass.Linear _ | Ivclass.Poly _ | Ivclass.Geometric _
+                  when step_inv ->
+                  Ir.Instr.Id.Table.replace r.table d
+                    (Ivclass.Linear { loop; base = base_class; step })
+                | _ -> ())
+              | _ -> ())
+            entries)
+      | _ -> ())
+    order
+
+(* -- the whole chain (the former Driver.analyze) -- *)
+
+let run ?(use_sccp = true) (ssa : Ir.Ssa.t) : analysis =
+  Obs.Trace.with_span ~cat:"pipeline" "pipeline.analyze" @@ fun () ->
+  let sccp =
+    if use_sccp then
+      Some (Obs.Trace.with_span ~cat:"pipeline" "pipeline.sccp" (fun () -> Sccp.run ssa))
+    else None
+  in
+  let t = loopwalk ?sccp ssa in
+  Obs.Trace.with_span ~cat:"pipeline" "pipeline.promote" (fun () -> promote t);
+  t
+
+(* -- report renderers -- *)
+
+let namer_of (t : analysis) : Ivclass.namer =
+  let loops = Ir.Ssa.loops t.ssa in
+  {
+    Ivclass.loop_name =
+      (fun id ->
+        if id >= 0 && id < Ir.Loops.num_loops loops then
+          (Ir.Loops.loop loops id).Ir.Loops.name
+        else "L?");
+    atom_name =
+      (fun a ->
+        match a with
+        | Sym.Param x -> Ir.Ident.name x
+        | Sym.Def id -> Ir.Ssa.primary_name t.ssa id);
+  }
+
+let pp_report fmt (t : analysis) =
+  let nm = namer_of t in
+  let loops = Ir.Ssa.loops t.ssa in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (lp : Ir.Loops.loop) ->
+      match t.by_loop.(lp.Ir.Loops.id) with
+      | None -> ()
+      | Some r ->
+        Format.fprintf fmt "@[<v 2>loop %s (depth %d, trip count %a):@,"
+          lp.Ir.Loops.name lp.Ir.Loops.depth
+          (Trip_count.pp_with (fun id -> Ir.Ssa.primary_name t.ssa id))
+          r.trip;
+        List.iter
+          (fun (instr : Ir.Instr.t) ->
+            let name = Ir.Ssa.primary_name t.ssa instr.Ir.Instr.id in
+            let c =
+              Option.value ~default:Ivclass.Unknown
+                (Ir.Instr.Id.Table.find_opt r.table instr.Ir.Instr.id)
+            in
+            Format.fprintf fmt "%-8s %a@," name (Ivclass.pp_with nm) c)
+          (Ssa_graph.nodes r.graph);
+        Format.fprintf fmt "@]@,")
+    (Ir.Loops.postorder loops);
+  Format.fprintf fmt "@]"
+
+let report_of (t : analysis) = Format.asprintf "%a" pp_report t
+
+let trip_report_of (t : analysis) =
+  let loops = Ir.Ssa.loops t.ssa in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (lp : Ir.Loops.loop) ->
+      let trip =
+        match t.by_loop.(lp.Ir.Loops.id) with
+        | Some r -> r.trip
+        | None -> Trip_count.unknown
+      in
+      Format.fprintf fmt "loop %-8s trips: %a" lp.Ir.Loops.name
+        (Trip_count.pp_with (fun id -> Ir.Ssa.primary_name t.ssa id))
+        trip;
+      (match Trip_count.max_count_int trip with
+       | Some n when Trip_count.count_int trip = None ->
+         Format.fprintf fmt " (at most %d)" n
+       | _ -> ());
+      Format.fprintf fmt "@.")
+    (Ir.Loops.postorder loops);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* -- the lazy per-source instance -- *)
+
+type t = {
+  src : string;
+  opts : options;
+  base : Hash.Fnv.t;
+  lock : Mutex.t;
+  (* Memoized pass results. v_classify and v_promote share the same
+     analysis record: promotion mutates the classification tables in
+     place (idempotently), so after Promote is forced the "classified"
+     view reflects promoted classes too. Trip counts and exit values
+     are computed before promotion and never change. *)
+  mutable v_parse : (Ir.Ast.program, string) result option;
+  mutable v_lower : (Ir.Cfg.t, string) result option;
+  mutable v_ssa : (Ir.Ssa.t, string) result option;
+  mutable v_looptree : (Ir.Loops.t, string) result option;
+  mutable v_sccp : (Sccp.result option, string) result option;
+  mutable v_classify : (analysis, string) result option;
+  mutable v_trip : (string, string) result option;
+  mutable v_promote : (string, string) result option; (* rendered report *)
+  digests : (pass, Hash.Fnv.t) Hashtbl.t;
+}
+
+let create ?(options = default_options) src =
+  {
+    src;
+    opts = options;
+    base = Hash.Fnv.feed_bool (Hash.Fnv.of_strings [ src ]) options.use_sccp;
+    lock = Mutex.create ();
+    v_parse = None;
+    v_lower = None;
+    v_ssa = None;
+    v_looptree = None;
+    v_sccp = None;
+    v_classify = None;
+    v_trip = None;
+    v_promote = None;
+    digests = Hashtbl.create 11;
+  }
+
+let options t = t.opts
+let source_digest t = t.base
+
+let set_digest t pass s = Hashtbl.replace t.digests pass (Hash.Fnv.of_strings [ s ])
+
+(* Each stage runs under a "pipeline.<pass>" span on first forcing.
+   Callers hold [t.lock]. *)
+let staged pass compute =
+  Obs.Trace.with_span ~cat:"pipeline"
+    ~attrs:[ ("pass", Obs.Trace.Str (name pass)) ]
+    ("pipeline." ^ name pass)
+    compute
+
+let ensure_parse t =
+  match t.v_parse with
+  | Some v -> v
+  | None ->
+    let v =
+      staged Parse (fun () -> Ir.Parser.parse_result t.src)
+    in
+    (match v with
+     | Ok prog -> set_digest t Parse (Ir.Ast.to_string prog)
+     | Error _ -> ());
+    t.v_parse <- Some v;
+    v
+
+let ensure_lower t =
+  match t.v_lower with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_parse t with
+      | Error e -> Error e
+      | Ok prog ->
+        let cfg = staged Lower (fun () -> Ir.Lower.lower prog) in
+        set_digest t Lower (Ir.Cfg.to_string cfg);
+        Ok cfg
+    in
+    t.v_lower <- Some v;
+    v
+
+let ensure_ssa t =
+  match t.v_ssa with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_parse t with
+      | Error e -> Error e
+      | Ok prog -> (
+        let ssa = staged Ssa (fun () -> Ir.Ssa.of_program prog) in
+        match Ir.Ssa.check ssa with
+        | [] ->
+          set_digest t Ssa (Ir.Ssa.to_string ssa);
+          Ok ssa
+        | errs -> Error (String.concat "\n" errs))
+    in
+    t.v_ssa <- Some v;
+    v
+
+let ensure_looptree t =
+  match t.v_looptree with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_ssa t with
+      | Error e -> Error e
+      | Ok ssa ->
+        let loops = staged Looptree (fun () -> Ir.Ssa.loops ssa) in
+        set_digest t Looptree (Format.asprintf "%a" Ir.Loops.pp loops);
+        Ok loops
+    in
+    t.v_looptree <- Some v;
+    v
+
+(* The SCCP digest feeds every def's proven constant (in instruction
+   order), so two sources with the same constant facts share a digest. *)
+let sccp_digest ssa (r : Sccp.result) =
+  let d = ref (Hash.Fnv.of_strings [ "sccp" ]) in
+  Ir.Cfg.iter_instrs (Ir.Ssa.cfg ssa) (fun _ instr ->
+      let id = instr.Ir.Instr.id in
+      match Sccp.const_of r id with
+      | Some c -> d := Hash.Fnv.feed_int (Hash.Fnv.feed_int !d id) c
+      | None -> ());
+  !d
+
+let ensure_sccp t =
+  match t.v_sccp with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_ssa t with
+      | Error e -> Error e
+      | Ok ssa ->
+        if not t.opts.use_sccp then begin
+          set_digest t Sccp "sccp:off";
+          Ok None
+        end
+        else begin
+          let r = staged Sccp (fun () -> Sccp.run ssa) in
+          Hashtbl.replace t.digests Sccp (sccp_digest ssa r);
+          Ok (Some r)
+        end
+    in
+    t.v_sccp <- Some v;
+    v
+
+let ensure_classify t =
+  match t.v_classify with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_looptree t with
+      | Error e -> Error e
+      | Ok _ -> (
+        match ensure_sccp t with
+        | Error e -> Error e
+        | Ok sccp -> (
+          match ensure_ssa t with
+          | Error e -> Error e
+          | Ok ssa ->
+            let a = staged Classify (fun () -> loopwalk ?sccp ssa) in
+            (* Digest the un-promoted tables and trip counts through
+               their stable renderings. *)
+            set_digest t Classify (report_of a ^ "\x00" ^ trip_report_of a);
+            Ok a))
+    in
+    t.v_classify <- Some v;
+    v
+
+let ensure_trip t =
+  match t.v_trip with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_classify t with
+      | Error e -> Error e
+      | Ok a ->
+        let text = staged Trip (fun () -> trip_report_of a) in
+        set_digest t Trip text;
+        Ok text
+    in
+    t.v_trip <- Some v;
+    v
+
+let ensure_promote t =
+  match t.v_promote with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_classify t with
+      | Error e -> Error e
+      | Ok a ->
+        let text =
+          staged Promote (fun () ->
+              promote a;
+              report_of a)
+        in
+        set_digest t Promote text;
+        Ok text
+    in
+    t.v_promote <- Some v;
+    v
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let parse t = locked t (fun () -> ensure_parse t)
+let lower t = locked t (fun () -> ensure_lower t)
+let ssa t = locked t (fun () -> ensure_ssa t)
+let looptree t = locked t (fun () -> ensure_looptree t)
+let sccp t = locked t (fun () -> ensure_sccp t)
+let classified t = locked t (fun () -> ensure_classify t)
+let trip_report t = locked t (fun () -> ensure_trip t)
+
+let promoted t =
+  locked t (fun () ->
+      match ensure_promote t with
+      | Error e -> Error e
+      | Ok _ -> (
+        match t.v_classify with
+        | Some (Ok a) -> Ok a
+        | _ -> assert false))
+
+let report t = locked t (fun () -> ensure_promote t)
+
+let discard : _ -> (unit, string) result = function
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let force t pass =
+  locked t (fun () ->
+      match pass with
+      | Parse -> discard (ensure_parse t)
+      | Lower -> discard (ensure_lower t)
+      | Ssa -> discard (ensure_ssa t)
+      | Looptree -> discard (ensure_looptree t)
+      | Sccp -> discard (ensure_sccp t)
+      | Classify -> discard (ensure_classify t)
+      | Trip -> discard (ensure_trip t)
+      | Promote -> discard (ensure_promote t)
+      | Depgraph -> Error "pass depgraph is forced by the service layer")
+
+let forced t pass =
+  locked t (fun () ->
+      match pass with
+      | Parse -> Option.is_some t.v_parse
+      | Lower -> Option.is_some t.v_lower
+      | Ssa -> Option.is_some t.v_ssa
+      | Looptree -> Option.is_some t.v_looptree
+      | Sccp -> Option.is_some t.v_sccp
+      | Classify -> Option.is_some t.v_classify
+      | Trip -> Option.is_some t.v_trip
+      | Promote -> Option.is_some t.v_promote
+      | Depgraph -> Hashtbl.mem t.digests Depgraph)
+
+let digest t pass = locked t (fun () -> Hashtbl.find_opt t.digests pass)
+
+let note t pass d = locked t (fun () -> Hashtbl.replace t.digests pass d)

@@ -1,0 +1,160 @@
+(** The demand-driven analysis pipeline.
+
+    The paper's algorithm is naturally staged — parse, lowering,
+    CFG/dominators, SSA, the loop forest, SCCP, the inner-to-outer
+    per-loop classification walk (with trip counts and exit values,
+    §5.2–5.3), multiloop promotion, and finally dependence testing (§6).
+    This module makes the staging explicit: a {!pass} is a typed node of
+    a static DAG; a pipeline instance ({!t}) forces passes lazily on
+    demand, remembers each forced pass's value, and exposes a stable
+    {!Hash.Fnv} digest of every result so downstream cache keys compose
+    (the service engine keys its per-pass artifacts off these digests).
+
+    Two layers:
+
+    - {e staged algorithm entry points} ({!loopwalk}, {!promote},
+      {!run}) — the whole-program analysis moved here from
+      {!Driver}, which is now a thin façade; reports stay
+      byte-identical.
+    - {e the lazy instance} ({!create} and the per-pass accessors) —
+      one pipeline per source text, thread-safe (a mutex serializes
+      stage forcing per instance; distinct sources never contend).
+
+    The [Depgraph] pass is declared in the DAG (so the pass listing and
+    key composition cover it) but is {e forced} by the service layer:
+    dependence testing lives in [lib/dependence], above this library.
+    The engine records its completion with {!note}. *)
+
+(* -- the pass DAG -- *)
+
+type pass =
+  | Parse  (** source text → AST *)
+  | Lower  (** AST → pre-SSA CFG (the [ivtool cfg] view) *)
+  | Ssa  (** AST → SSA form (CFG, dominators, loop forest inside) *)
+  | Looptree  (** SSA → the loop-nesting forest *)
+  | Sccp  (** SSA → conditional constant propagation (per options) *)
+  | Classify
+      (** the inner-to-outer walk: per-loop classification tables,
+          trip counts and exit values (§5.2–5.3) *)
+  | Trip  (** per-loop trip-count report (projection of Classify) *)
+  | Promote  (** multiloop promotion (§5.3); final classification *)
+  | Depgraph  (** dependence graph (§6) — forced by the service layer *)
+
+(** Every pass, in topological order. *)
+val all : pass list
+
+val name : pass -> string
+val of_name : string -> pass option
+
+(** Direct inputs of a pass (the static DAG). [Ssa] declares [Parse],
+    not [Lower]: SSA conversion consumes (mutates) the CFG it lowers,
+    so the [Lower] pass keeps the pristine pre-SSA view and the SSA
+    pass lowers its own copy. *)
+val inputs : pass -> pass list
+
+val description : pass -> string
+
+(* -- options -- *)
+
+type options = { use_sccp : bool }
+
+val default_options : options
+
+(* -- the analysis payload (what Driver.t wraps) -- *)
+
+type loop_result = {
+  loop : Ir.Loops.loop;
+  table : Ivclass.t Ir.Instr.Id.Table.t;
+  graph : Ssa_graph.t;
+  trip : Trip_count.t;
+}
+
+type analysis = {
+  ssa : Ir.Ssa.t;
+  sccp : Sccp.result option;
+  by_loop : loop_result option array;  (** indexed by loop id *)
+  exit_values : Sym.t Ir.Instr.Id.Table.t;
+}
+
+(* -- staged algorithm entry points (the former Driver.analyze) -- *)
+
+(** [loopwalk ?sccp ssa] classifies every loop from the innermost out,
+    computing trip counts and symbolic exit values as each countable
+    loop completes (§5.2–5.3). Does {e not} promote. *)
+val loopwalk : ?sccp:Sccp.result -> Ir.Ssa.t -> analysis
+
+(** [promote t] rewrites inner initial values that are outer-loop IVs
+    into the paper's nested multiloop tuples (§5.3, Figs 8–9).
+    In place and idempotent. *)
+val promote : analysis -> unit
+
+(** [run ssa] is the whole chain — SCCP (per [use_sccp], default true),
+    {!loopwalk}, {!promote} — under the same trace spans the monolithic
+    driver emitted. [Driver.analyze] delegates here. *)
+val run : ?use_sccp:bool -> Ir.Ssa.t -> analysis
+
+(* -- report renderers (shared by Driver and the service engine) -- *)
+
+val namer_of : analysis -> Ivclass.namer
+
+val pp_report : Format.formatter -> analysis -> unit
+
+(** The per-loop classification report ([Driver.report]). *)
+val report_of : analysis -> string
+
+(** The per-loop trip-count report (the [trip] artifact). *)
+val trip_report_of : analysis -> string
+
+(* -- the lazy per-source instance -- *)
+
+type t
+
+(** [create ?options src] — nothing is forced yet. *)
+val create : ?options:options -> string -> t
+
+val options : t -> options
+
+(** Digest of the raw source text plus the options — the base cache
+    key. Computed once at {!create}. *)
+val source_digest : t -> Hash.Fnv.t
+
+(** Per-pass accessors: each forces its pass (and, transitively, the
+    pass's inputs) on first use and returns the memoized result after.
+    [Error] carries the parse / SSA-construction diagnostic. *)
+
+val parse : t -> (Ir.Ast.program, string) result
+
+val lower : t -> (Ir.Cfg.t, string) result
+val ssa : t -> (Ir.Ssa.t, string) result
+val looptree : t -> (Ir.Loops.t, string) result
+val sccp : t -> (Sccp.result option, string) result
+
+(** The un-promoted analysis (classification tables, trip counts, exit
+    values). A trip-count query needs nothing past this. *)
+val classified : t -> (analysis, string) result
+
+(** The rendered trip-count report (forces through [Trip] only). *)
+val trip_report : t -> (string, string) result
+
+(** The promoted (final) analysis — what [Driver.analyze] returns. *)
+val promoted : t -> (analysis, string) result
+
+(** The rendered classification report (forces through [Promote]). *)
+val report : t -> (string, string) result
+
+(** [force t pass] forces one pass generically. [Depgraph] cannot be
+    forced here (it lives above this library) and returns [Error]. *)
+val force : t -> pass -> (unit, string) result
+
+(** [forced t pass] — has the pass run (or, for [Depgraph], been
+    {!note}d)? Never forces anything. *)
+val forced : t -> pass -> bool
+
+(** [digest t pass] is the stable digest of the pass's result, once
+    forced. Digests are content hashes of a canonical rendering, so
+    they are reproducible across instances and processes. *)
+val digest : t -> pass -> Hash.Fnv.t option
+
+(** [note t pass d] records an externally-computed pass (the service
+    layer's dependence graph) as forced with result digest [d]. *)
+val note : t -> pass -> Hash.Fnv.t -> unit

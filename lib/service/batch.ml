@@ -21,12 +21,20 @@ let report engine ~artifacts item =
     in
     go (Buffer.create 256) artifacts
 
-let run ?timeout_s ?(passes = 1) ~domains ~engine ~artifacts items =
+let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
   let metrics = Engine.metrics engine in
   let depth = Metrics.gauge metrics "pool.queue_depth" in
   let items_counter = Metrics.counter metrics "batch.items" in
   let passes_counter = Metrics.counter metrics "batch.passes" in
   let arr = Array.of_list items in
+  (* With a resident pool the spawn already happened; [domains] is
+     advisory only (the pool's own size governs). *)
+  let fan_out ~queue_depth f tasks =
+    match pool with
+    | Some p -> Pool.run ?timeout_s ~queue_depth p f tasks
+    | None -> Pool.map ?timeout_s ~queue_depth ~domains f tasks
+  in
+  let pool_size = match pool with Some p -> Pool.size p | None -> domains in
   let one_pass p =
     Metrics.incr passes_counter;
     Metrics.incr ~by:(Array.length arr) items_counter;
@@ -34,10 +42,10 @@ let run ?timeout_s ?(passes = 1) ~domains ~engine ~artifacts items =
       ~attrs:
         [ ("pass", Obs.Trace.Int p);
           ("items", Obs.Trace.Int (Array.length arr));
-          ("domains", Obs.Trace.Int domains) ]
+          ("domains", Obs.Trace.Int pool_size) ]
       "batch.pass"
       (fun () ->
-        Pool.map ?timeout_s ~queue_depth:(Metrics.set_gauge depth) ~domains
+        fan_out ~queue_depth:(Metrics.set_gauge depth)
           (fun item ->
             Obs.Trace.with_span ~cat:"batch"
               ~attrs:[ ("file", Obs.Trace.Str item.name) ]

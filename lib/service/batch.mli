@@ -18,10 +18,16 @@ val report :
     repeats the whole batch; later passes are served from the cache and
     the reports of the last pass are returned. [timeout_s] is the
     cooperative per-item timeout (see {!Pool}). Worker crashes and
-    timeouts surface as [Error] for their item only. *)
+    timeouts surface as [Error] for their item only.
+
+    With [pool], every pass fans out over the resident workers of that
+    {!Pool.pool} — no per-pass [Domain.spawn] — and [domains] is
+    ignored. Without it, each pass spawns (and joins) its own workers
+    as before. *)
 val run :
   ?timeout_s:float ->
   ?passes:int ->
+  ?pool:Pool.pool ->
   domains:int ->
   engine:Engine.t ->
   artifacts:Engine.artifact list ->

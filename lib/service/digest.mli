@@ -1,31 +1,7 @@
-(** Content hashes for cache keys.
+(** Content hashes for cache keys — a re-export of {!Hash.Fnv}, where
+    the implementation moved so the analysis pipeline can digest pass
+    results without depending on the service layer. See {!Hash.Fnv}. *)
 
-    A 64-bit FNV-1a hash over an explicit, length-framed sequence of
-    strings. Framing each part with its length keeps [of_strings] free
-    of concatenation ambiguity: [["ab"; "c"]] and [["a"; "bc"]] digest
-    differently. This is a fast, non-cryptographic hash: fine for
-    content-addressing an in-process cache, not for untrusted inputs. *)
-
-type t = int64
-
-(** The FNV-1a offset basis — the empty digest. *)
-val empty : t
-
-(** [feed_string h s] absorbs [s]'s length, then its bytes. *)
-val feed_string : t -> string -> t
-
-(** [feed_int h n] absorbs an integer (as 8 little-endian bytes). *)
-val feed_int : t -> int -> t
-
-(** [feed_bool h b] absorbs a boolean. *)
-val feed_bool : t -> bool -> t
-
-(** [of_strings parts] digests a sequence of length-framed parts. *)
-val of_strings : string list -> t
-
-val equal : t -> t -> bool
-val compare : t -> t -> int
-val hash : t -> int
-
-(** Sixteen lowercase hex digits. *)
-val to_hex : t -> string
+include module type of struct
+  include Hash.Fnv
+end

@@ -1,4 +1,15 @@
-(* Content-addressed memoization of the analysis pipeline. *)
+(* Content-addressed memoization of the staged analysis pipeline.
+
+   The engine keys its cache per *pass*, not per monolithic analysis:
+   each source text maps (through one digest, computed once per
+   request) to an Analysis.Pipeline instance whose stages force lazily,
+   so a trip-count request never runs promotion or dependence testing.
+   The dependence report — the one artifact computed above lib/analysis
+   — is cached under a key derived from the promote pass's result
+   digest, so it survives pipeline eviction and is shared by any source
+   that promotes to the same classification. *)
+
+module Pipeline = Analysis.Pipeline
 
 type options = { use_sccp : bool }
 
@@ -17,138 +28,246 @@ let artifact_of_string = function
   | "trip" -> Some Trip
   | _ -> None
 
-(* One cache holds both the driver and the rendered reports; the
-   artifact tag in the key keeps them apart. *)
-type value = V_driver of Analysis.Driver.t | V_text of string
+(* One cache holds both pipeline instances and rendered dependence
+   reports; the key derivation keeps them apart. *)
+type entry = E_pipeline of Pipeline.t | E_text of string
+
+type pass_counters = { p_hits : int Atomic.t; p_misses : int Atomic.t }
 
 type t = {
   options : options;
-  cache : (Digest.t, (value, string) result) Cache.t;
+  cache : (Digest.t, entry) Cache.t;
   metrics : Metrics.t;
+  counters : (Pipeline.pass * pass_counters) list;
 }
 
 let create ?(capacity = 256) ?(options = default_options) () =
-  { options; cache = Cache.create ~capacity (); metrics = Metrics.create () }
+  {
+    options;
+    cache = Cache.create ~capacity ();
+    metrics = Metrics.create ();
+    counters =
+      List.map
+        (fun p -> (p, { p_hits = Atomic.make 0; p_misses = Atomic.make 0 }))
+        Pipeline.all;
+  }
 
 let options t = t.options
 let metrics t = t.metrics
 let cache_stats t = Cache.stats t.cache
 
-let key t tag src =
-  Digest.feed_bool (Digest.of_strings [ tag; src ]) t.options.use_sccp
+(* -- keys: the source text is digested exactly once per request; every
+   key below derives from that digest -- *)
 
-(* -- the pipeline, with per-phase timings and timeout ticks -- *)
+let base_key t src = Digest.feed_bool (Digest.of_strings [ src ]) t.options.use_sccp
+let pipeline_key base = Digest.feed_string base "pipeline"
+let deps_key promote_digest = Digest.feed_string promote_digest "text.deps"
 
-let compute_driver t src : (value, string) result =
-  match Metrics.time t.metrics "phase.parse" (fun () -> Ir.Parser.parse_result src) with
-  | Error msg -> Error msg
-  | Ok prog ->
-    Pool.tick ();
-    let ssa = Metrics.time t.metrics "phase.ssa" (fun () -> Ir.Ssa.of_program prog) in
-    (match Ir.Ssa.check ssa with
-     | [] ->
-       Pool.tick ();
-       let d =
-         Metrics.time t.metrics "phase.classify" (fun () ->
-             Analysis.Driver.analyze ~use_sccp:t.options.use_sccp ssa)
-       in
-       Pool.tick ();
-       Ok (V_driver d)
-     | errs -> Error (String.concat "\n" errs))
+let pipeline_for t base src : Pipeline.t =
+  match
+    Cache.find_or_add t.cache (pipeline_key base) (fun () ->
+        E_pipeline
+          (Pipeline.create ~options:{ Pipeline.use_sccp = t.options.use_sccp } src))
+  with
+  | E_pipeline p -> p
+  | E_text _ -> assert false
 
-(* Cache lookup with a hit/miss event per artifact; the computation runs
-   under a span so cold paths are visible in the trace. *)
-let cached t tag k compute =
-  if not (Obs.Trace.enabled ()) then Cache.find_or_add t.cache k compute
-  else begin
-    let hit = ref true in
-    let v =
-      Cache.find_or_add t.cache k (fun () ->
-          hit := false;
-          Obs.Trace.with_span ~cat:"engine"
-            ~attrs:[ ("artifact", Obs.Trace.Str tag) ]
-            "engine.compute" compute)
-    in
-    Obs.Trace.event ~cat:"engine"
-      ~attrs:
-        [ ("artifact", Obs.Trace.Str tag);
-          ("hit", Obs.Trace.Bool !hit) ]
-      "engine.cache";
-    v
+let pipeline t src = pipeline_for t (base_key t src) src
+
+(* -- per-pass forcing with hit/miss accounting -- *)
+
+let counters_of t pass = List.assq pass t.counters
+
+let phase_metric = function
+  | Pipeline.Parse -> "phase.parse"
+  | Pipeline.Lower -> "phase.lower"
+  | Pipeline.Ssa -> "phase.ssa"
+  | Pipeline.Looptree -> "phase.looptree"
+  | Pipeline.Sccp -> "phase.sccp"
+  | Pipeline.Classify -> "phase.classify"
+  | Pipeline.Trip -> "phase.trip"
+  | Pipeline.Promote -> "phase.promote"
+  | Pipeline.Depgraph -> "phase.deps"
+
+(* Force one pass: a hit when the pipeline already holds its result
+   (even a cached error), a miss — timed under the legacy phase metric,
+   with a cooperative-timeout tick — when it must run. *)
+let ensure t p pass : (unit, string) result =
+  let c = counters_of t pass in
+  if Pipeline.forced p pass then begin
+    Atomic.incr c.p_hits;
+    Ok ()
   end
+  else begin
+    Atomic.incr c.p_misses;
+    Pool.tick ();
+    Metrics.time t.metrics (phase_metric pass) (fun () -> Pipeline.force p pass)
+  end
+
+let rec ensure_chain t p = function
+  | [] -> Ok ()
+  | pass :: rest -> (
+    match ensure t p pass with
+    | Ok () -> ensure_chain t p rest
+    | Error e -> Error e)
+
+(* Promote (and so Lower, which nothing here needs) is deliberately
+   absent from the trip chain: a trip request must not force it. *)
+let classify_chain = Pipeline.[ Parse; Ssa; Looptree; Sccp; Classify; Promote ]
+let trip_chain = Pipeline.[ Parse; Ssa; Looptree; Sccp; Classify; Trip ]
 
 let analyze t src : (Analysis.Driver.t, string) result =
   Metrics.incr (Metrics.counter t.metrics "requests.analyze");
-  match cached t "analyze" (key t "analyze" src) (fun () -> compute_driver t src) with
-  | Ok (V_driver d) -> Ok d
-  | Ok (V_text _) -> assert false
-  | Error msg -> Error msg
+  let p = pipeline t src in
+  match ensure_chain t p classify_chain with
+  | Error e -> Error e
+  | Ok () -> (
+    match Pipeline.promoted p with
+    | Ok a -> Ok (Analysis.Driver.of_analysis a)
+    | Error e -> Error e)
 
-(* -- report renderers (shared by ivtool and the server) -- *)
+(* -- the dependence report (the service layer's own pass) -- *)
 
-let render_classify d = Analysis.Driver.report d
+let deps_text t p : (string, string) result =
+  match ensure_chain t p classify_chain with
+  | Error e -> Error e
+  | Ok () -> (
+    match Pipeline.promoted p with
+    | Error e -> Error e
+    | Ok a ->
+      let pd =
+        match Pipeline.digest p Pipeline.Promote with
+        | Some d -> d
+        | None -> assert false (* promote just succeeded *)
+      in
+      let c = counters_of t Pipeline.Depgraph in
+      let computed = ref false in
+      let entry =
+        Cache.find_or_add t.cache (deps_key pd) (fun () ->
+            computed := true;
+            Pool.tick ();
+            Metrics.time t.metrics "phase.deps" (fun () ->
+                let d = Analysis.Driver.of_analysis a in
+                let g = Dependence.Dep_graph.build d in
+                E_text
+                  (if g = [] then "no dependences\n"
+                   else Dependence.Dep_graph.to_string d g)))
+      in
+      if !computed then Atomic.incr c.p_misses else Atomic.incr c.p_hits;
+      (match entry with
+       | E_text text ->
+         Pipeline.note p Pipeline.Depgraph (Digest.of_strings [ text ]);
+         Ok text
+       | E_pipeline _ -> assert false))
 
-let render_trip d =
-  let ssa = Analysis.Driver.ssa d in
-  let loops = Ir.Ssa.loops ssa in
-  let buf = Buffer.create 256 in
-  let fmt = Format.formatter_of_buffer buf in
-  List.iter
-    (fun (lp : Ir.Loops.loop) ->
-      let trip = Analysis.Driver.trip_count d lp.Ir.Loops.id in
-      Format.fprintf fmt "loop %-8s trips: %a" lp.Ir.Loops.name
-        (Analysis.Trip_count.pp_with (fun id -> Ir.Ssa.primary_name ssa id))
-        trip;
-      (match Analysis.Trip_count.max_count_int trip with
-       | Some n when Analysis.Trip_count.count_int trip = None ->
-         Format.fprintf fmt " (at most %d)" n
-       | _ -> ());
-      Format.fprintf fmt "@.")
-    (Ir.Loops.postorder loops);
-  Format.pp_print_flush fmt ();
-  Buffer.contents buf
+(* -- rendered artifacts -- *)
+
+let final_pass = function
+  | Classify -> Pipeline.Promote
+  | Trip -> Pipeline.Trip
+  | Deps -> Pipeline.Depgraph
 
 let render t artifact src : (string, string) result =
   let tag = artifact_to_string artifact in
   Metrics.incr (Metrics.counter t.metrics ("requests." ^ tag));
-  match
-    cached t tag (key t tag src) (fun () ->
-        match analyze t src with
-        | Error msg -> Error msg
-        | Ok d ->
-          Pool.tick ();
-          let text =
-            match artifact with
-            | Classify -> render_classify d
-            | Deps ->
-              Metrics.time t.metrics "phase.deps" (fun () ->
-                  let g = Dependence.Dep_graph.build d in
-                  if g = [] then "no dependences\n"
-                  else Dependence.Dep_graph.to_string d g)
-            | Trip -> render_trip d
-          in
-          Ok (V_text text))
-  with
-  | Ok (V_text s) -> Ok s
-  | Ok (V_driver _) -> assert false
-  | Error msg -> Error msg
+  let p = pipeline t src in
+  let hit = Pipeline.forced p (final_pass artifact) in
+  let compute () =
+    match artifact with
+    | Classify -> (
+      match ensure_chain t p classify_chain with
+      | Error e -> Error e
+      | Ok () -> Pipeline.report p)
+    | Trip -> (
+      match ensure_chain t p trip_chain with
+      | Error e -> Error e
+      | Ok () -> Pipeline.trip_report p)
+    | Deps -> deps_text t p
+  in
+  let result =
+    if hit || not (Obs.Trace.enabled ()) then compute ()
+    else
+      Obs.Trace.with_span ~cat:"engine"
+        ~attrs:[ ("artifact", Obs.Trace.Str tag) ]
+        "engine.compute" compute
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.event ~cat:"engine"
+      ~attrs:[ ("artifact", Obs.Trace.Str tag); ("hit", Obs.Trace.Bool hit) ]
+      "engine.cache";
+  result
 
 let classify t src = render t Classify src
 let deps t src = render t Deps src
 let trip t src = render t Trip src
 
 let invalidate t src =
-  List.fold_left
-    (fun acc tag -> if Cache.invalidate t.cache (key t tag src) then acc + 1 else acc)
-    0
-    [ "analyze"; "classify"; "deps"; "trip" ]
+  let base = base_key t src in
+  let pk = pipeline_key base in
+  (* Drop the dependence report first: its key derives from the promote
+     digest, reachable only while the pipeline entry is alive. *)
+  let removed_deps =
+    match Cache.peek t.cache pk with
+    | Some (E_pipeline p) -> (
+      match Pipeline.digest p Pipeline.Promote with
+      | Some pd -> if Cache.invalidate t.cache (deps_key pd) then 1 else 0
+      | None -> 0)
+    | _ -> 0
+  in
+  removed_deps + (if Cache.invalidate t.cache pk then 1 else 0)
 
 let clear t =
   Cache.clear t.cache;
   Cache.reset_stats t.cache;
-  Metrics.reset t.metrics
+  Metrics.reset t.metrics;
+  List.iter
+    (fun (_, c) ->
+      Atomic.set c.p_hits 0;
+      Atomic.set c.p_misses 0)
+    t.counters
+
+(* -- introspection -- *)
+
+let pass_stats t =
+  List.map
+    (fun (p, c) -> (Pipeline.name p, Atomic.get c.p_hits, Atomic.get c.p_misses))
+    t.counters
 
 let stats_report t =
-  Printf.sprintf "cache: %s\n%s\n"
-    (Cache.stats_to_string (cache_stats t))
-    (Metrics.dump t.metrics)
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "cache: %s\n" (Cache.stats_to_string (cache_stats t)));
+  List.iter
+    (fun (name, h, m) ->
+      if h + m > 0 then
+        Buffer.add_string buf (Printf.sprintf "pass.%s: hits=%d misses=%d\n" name h m))
+    (pass_stats t);
+  Buffer.add_string buf (Metrics.dump t.metrics);
+  Buffer.add_string buf "\n";
+  Buffer.contents buf
+
+let passes_report t src =
+  let p = pipeline t src in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "source %s  (sccp=%b)\n"
+       (Digest.to_hex (Pipeline.source_digest p))
+       t.options.use_sccp);
+  List.iter
+    (fun pass ->
+      let status = if Pipeline.forced p pass then "forced" else "lazy" in
+      let digest =
+        match Pipeline.digest p pass with
+        | Some d -> Digest.to_hex d
+        | None -> "-"
+      in
+      let inputs =
+        match Pipeline.inputs pass with
+        | [] -> "(source)"
+        | l -> String.concat ", " (List.map Pipeline.name l)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-9s %-6s %-16s <- %s\n" (Pipeline.name pass) status
+           digest inputs))
+    Pipeline.all;
+  Buffer.contents buf

@@ -1,19 +1,22 @@
 (** The memoizing analysis engine.
 
     An engine owns one {!Cache} and one {!Metrics} registry and serves
-    the repository's analyses over raw source text. Artifacts are
-    content-addressed: the cache key is a {!Digest} of the source text,
-    the analysis options, and the artifact kind, so the same source
-    analyzed under different options occupies distinct entries, and a
-    re-submitted source is a pure cache hit.
+    the repository's analyses over raw source text. Caching is
+    per-pass, not per-monolith: the source text is digested once per
+    request, that digest names an {!Analysis.Pipeline} instance in the
+    LRU, and each request forces exactly the pipeline passes its
+    artifact needs — a [trip] request never runs promotion or
+    dependence testing. Per-pass hit/miss counts are kept alongside the
+    entry-level cache statistics (see {!pass_stats}).
 
-    Memoized artifacts:
-    - the whole-program {!Analysis.Driver.t} (the expensive step:
-      parse → CFG → SSA → SCCP → classification → trip counts);
-    - the [classify], [deps] and [trip] text reports derived from it.
+    The dependence report — the one pass computed above [lib/analysis]
+    — is cached under a key derived from the promote pass's result
+    digest, so it is shared by any source (under any options) whose
+    promoted classification renders identically.
 
-    Phase timings (parse/ssa/classify/deps) are recorded in the metrics
-    registry, and {!Pool.tick} is called between phases so pooled tasks
+    Phase timings ([phase.parse], [phase.ssa], [phase.classify],
+    [phase.deps], …) are recorded in the metrics registry on the miss
+    path, and {!Pool.tick} is called between passes so pooled tasks
     honor cooperative timeouts. One engine may be shared by all domains
     of a {!Pool}. *)
 
@@ -28,34 +31,50 @@ val artifact_of_string : string -> artifact option
 
 type t
 
-(** [create ~capacity ~options ()] — [capacity] bounds the artifact
-    cache (default 256 entries). *)
+(** [create ~capacity ~options ()] — [capacity] bounds the cache
+    (default 256 entries: pipelines plus dependence reports). *)
 val create : ?capacity:int -> ?options:options -> unit -> t
 
 val options : t -> options
 val metrics : t -> Metrics.t
 val cache_stats : t -> Cache.stats
 
-(** The memoized whole-program analysis. [Error] carries the parse (or
-    SSA-construction) diagnostic; errors are cached too, so a corpus
-    with a malformed member does not re-parse it on every batch pass. *)
+(** The engine's pipeline instance for [src] (creating an unforced one
+    on first sight). Exposed for introspection and tests. *)
+val pipeline : t -> string -> Analysis.Pipeline.t
+
+(** The memoized whole-program analysis (forces through promotion).
+    [Error] carries the parse (or SSA-construction) diagnostic; errors
+    are cached too, so a corpus with a malformed member does not
+    re-parse it on every batch pass. *)
 val analyze : t -> string -> (Analysis.Driver.t, string) result
 
-(** [render t artifact src] is the memoized text report. *)
+(** [render t artifact src] is the memoized text report, forcing only
+    the passes the artifact needs. *)
 val render : t -> artifact -> string -> (string, string) result
 
 val classify : t -> string -> (string, string) result
 val deps : t -> string -> (string, string) result
 val trip : t -> string -> (string, string) result
 
-(** [invalidate t src] drops every cached artifact derived from [src]
-    (under the engine's options); returns how many entries were
-    removed. *)
+(** [invalidate t src] drops the pipeline entry for [src] (under the
+    engine's options) and its derived dependence report; returns how
+    many entries were removed. *)
 val invalidate : t -> string -> int
 
-(** Drop every cache entry and reset metrics. *)
+(** Drop every cache entry, reset cache statistics, metrics, and the
+    per-pass counters. *)
 val clear : t -> unit
 
-(** Cache statistics plus the metrics dump, as text — the [STATS]
-    payload. *)
+(** [(pass, hits, misses)] per pipeline pass, in topological order.
+    A hit means a request needed the pass and found it already forced;
+    a miss means the request ran it. *)
+val pass_stats : t -> (string * int * int) list
+
+(** Cache statistics, per-pass hit/miss lines, and the metrics dump,
+    as text — the [STATS] payload. *)
 val stats_report : t -> string
+
+(** [passes_report t src] — the pass DAG for [src] with each pass's
+    forced/lazy status and result digest (the [ivtool passes] body). *)
+val passes_report : t -> string -> string

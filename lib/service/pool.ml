@@ -25,44 +25,51 @@ let run_task ?timeout_s f task =
   Domain.DLS.set deadline None;
   outcome
 
+(* One worker's share of a task array: claim slots off the shared
+   atomic index until the queue drains. Shared by the one-shot [map]
+   and the persistent pool below. *)
+let worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid =
+  let n = Array.length tasks in
+  let work () =
+    (* Time between claiming a slot and the previous task finishing is
+       the queue wait; with an atomic next-index it is contention only. *)
+    let rec loop () =
+      let claim_ns = if traced then Obs.Clock.now_ns () else 0L in
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match queue_depth with
+         | Some g -> g (max 0 (n - i - 1))
+         | None -> ());
+        (if traced then
+           Obs.Trace.with_span ~cat:"pool"
+             ~attrs:
+               [ ("task", Obs.Trace.Int i);
+                 ("worker", Obs.Trace.Int wid);
+                 ( "queue_wait_us",
+                   Obs.Trace.Float
+                     (Obs.Clock.ns_to_us
+                        (Int64.sub (Obs.Clock.now_ns ()) claim_ns)) ) ]
+             "pool.task"
+             (fun () -> results.(i) <- run_task ?timeout_s f tasks.(i))
+         else results.(i) <- run_task ?timeout_s f tasks.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if traced then
+    Obs.Trace.with_span ~cat:"pool"
+      ~attrs:[ ("worker", Obs.Trace.Int wid) ]
+      "pool.worker" work
+  else work ()
+
 let map ?timeout_s ?queue_depth ~domains f tasks =
   let n = Array.length tasks in
   let results = Array.make n (Failed "task never ran") in
   let next = Atomic.make 0 in
   let traced = Obs.Trace.enabled () in
   let worker wid () =
-    let work () =
-      (* Time between claiming a slot and the previous task finishing is
-         the queue wait; with an atomic next-index it is contention only. *)
-      let rec loop () =
-        let claim_ns = if traced then Obs.Clock.now_ns () else 0L in
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (match queue_depth with
-           | Some g -> g (max 0 (n - i - 1))
-           | None -> ());
-          (if traced then
-             Obs.Trace.with_span ~cat:"pool"
-               ~attrs:
-                 [ ("task", Obs.Trace.Int i);
-                   ("worker", Obs.Trace.Int wid);
-                   ( "queue_wait_us",
-                     Obs.Trace.Float
-                       (Obs.Clock.ns_to_us
-                          (Int64.sub (Obs.Clock.now_ns ()) claim_ns)) ) ]
-               "pool.task"
-               (fun () -> results.(i) <- run_task ?timeout_s f tasks.(i))
-           else results.(i) <- run_task ?timeout_s f tasks.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    if traced then
-      Obs.Trace.with_span ~cat:"pool"
-        ~attrs:[ ("worker", Obs.Trace.Int wid) ]
-        "pool.worker" work
-    else work ()
+    worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid
   in
   let d = max 1 (min domains n) in
   let body () =
@@ -96,3 +103,143 @@ let to_result = function
 
 let default_domains ?(cap = 8) () =
   max 1 (min cap (Domain.recommended_domain_count ()))
+
+(* -- the persistent pool --
+
+   [map] pays one Domain.spawn per worker per call; on small corpora
+   the spawns dominate the analysis (see EXPERIMENTS.md, B1). A [pool]
+   spawns its workers once and keeps them parked in [Condition.wait]
+   between jobs, so repeated batch passes and serve-mode requests reuse
+   the same domains. A job is a generation-stamped closure; the
+   submitter participates as worker 0 and waits until every parked
+   worker has finished the generation before returning, so results are
+   complete (and in input order) on return, exactly like [map]. *)
+
+type pool = {
+  size : int; (* total workers, including the submitter *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  job_lock : Mutex.t; (* serializes submitters; held across a whole job *)
+  mutable generation : int;
+  mutable job : (int * (int -> unit)) option; (* generation, body *)
+  mutable finished : int; (* parked workers done with the current job *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop pool wid =
+  let seen = ref 0 in
+  Mutex.lock pool.lock;
+  let rec loop () =
+    if pool.stopped then Mutex.unlock pool.lock
+    else
+      match pool.job with
+      | Some (g, body) when g <> !seen ->
+        seen := g;
+        Mutex.unlock pool.lock;
+        (try body wid with _ -> ());
+        Mutex.lock pool.lock;
+        pool.finished <- pool.finished + 1;
+        Condition.broadcast pool.cond;
+        loop ()
+      | _ ->
+        Condition.wait pool.cond pool.lock;
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let size =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let pool =
+    {
+      size;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      job_lock = Mutex.create ();
+      generation = 0;
+      job = None;
+      finished = 0;
+      stopped = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      Obs.Trace.with_span ~cat:"pool"
+        ~attrs:[ ("domains", Obs.Trace.Int (size - 1)) ]
+        "pool.spawn"
+        (fun () ->
+          List.init (size - 1) (fun k ->
+              Domain.spawn (fun () -> worker_loop pool (k + 1))));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.job_lock;
+  Mutex.lock pool.lock;
+  let already = pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.lock;
+  if (not already) && pool.workers <> [] then
+    Obs.Trace.with_span ~cat:"pool" "pool.join" (fun () ->
+        List.iter Domain.join pool.workers);
+  pool.workers <- [];
+  Mutex.unlock pool.job_lock
+
+let run ?timeout_s ?queue_depth pool f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n (Failed "task never ran") in
+  if n = 0 then results
+  else begin
+    Mutex.lock pool.job_lock;
+    if pool.stopped then begin
+      Mutex.unlock pool.job_lock;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool.job_lock)
+      (fun () ->
+        let next = Atomic.make 0 in
+        let traced = Obs.Trace.enabled () in
+        let body wid =
+          worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid
+        in
+        let run_all () =
+          if pool.size <= 1 then body 0
+          else begin
+            Mutex.lock pool.lock;
+            pool.generation <- pool.generation + 1;
+            pool.finished <- 0;
+            pool.job <- Some (pool.generation, body);
+            Condition.broadcast pool.cond;
+            Mutex.unlock pool.lock;
+            (* The submitter works the same queue; parked workers with
+               nothing left to claim return immediately. *)
+            Fun.protect
+              ~finally:(fun () ->
+                Mutex.lock pool.lock;
+                while pool.finished < pool.size - 1 do
+                  Condition.wait pool.cond pool.lock
+                done;
+                pool.job <- None;
+                Mutex.unlock pool.lock)
+              (fun () -> body 0)
+          end
+        in
+        if traced then
+          Obs.Trace.with_span ~cat:"pool"
+            ~attrs:
+              [ ("tasks", Obs.Trace.Int n);
+                ("domains", Obs.Trace.Int pool.size);
+                ("persistent", Obs.Trace.Bool true) ]
+            "pool.map" run_all
+        else run_all ());
+    results
+  end
+
+let run_list ?timeout_s ?queue_depth pool f tasks =
+  Array.to_list (run ?timeout_s ?queue_depth pool f (Array.of_list tasks))

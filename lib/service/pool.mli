@@ -54,3 +54,48 @@ val to_result : 'b outcome -> ('b, string) result
 (** A sensible worker count for this machine: the domain's recommended
     parallelism, capped at [cap] (default 8). *)
 val default_domains : ?cap:int -> unit -> int
+
+(** {2 The persistent pool}
+
+    {!map} pays one [Domain.spawn] per worker per call; on small
+    corpora the spawns dominate the analysis. A {!pool} spawns its
+    workers once ({!create}) and parks them between jobs, so repeated
+    batch passes and serve-mode requests reuse the same domains.
+    {!run} has {!map}'s contract — one outcome per task, in input
+    order, failures isolated, cooperative timeouts via {!tick}. *)
+
+type pool
+
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    submitter is worker 0). [domains] defaults to {!default_domains},
+    and is clamped to ≥ 1 ([create ~domains:1] spawns nothing; {!run}
+    then executes on the calling domain). *)
+val create : ?domains:int -> unit -> pool
+
+(** Total workers, including the submitting domain. *)
+val size : pool -> int
+
+(** [run pool f tasks] — as {!map}, on the pool's resident workers.
+    Blocks until every worker has finished the job. Serializes
+    concurrent submitters. Raises [Invalid_argument] after
+    {!shutdown}. *)
+val run :
+  ?timeout_s:float ->
+  ?queue_depth:(int -> unit) ->
+  pool ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array
+
+(** List version of {!run}. *)
+val run_list :
+  ?timeout_s:float ->
+  ?queue_depth:(int -> unit) ->
+  pool ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome list
+
+(** Stop and join the worker domains. Idempotent; waits for an
+    in-flight job to drain first. *)
+val shutdown : pool -> unit

@@ -27,12 +27,49 @@ let split_command line =
     let arg = String.trim (String.sub line i (String.length line - i)) in
     (String.sub line 0 i, (if arg = "" then None else Some arg))
 
-let handle engine line =
+let handle ?pool engine line =
   let line = String.trim line in
   match split_command line with
   | "", None -> Err "empty request"
   | "QUIT", None -> Bye
   | "STATS", None -> Ok_payload (Engine.stats_report engine)
+  | "PASSES", Some path ->
+    with_file path (fun src -> Ok_payload (Engine.passes_report engine src))
+  | "BATCH", Some args -> (
+    match List.filter (fun s -> s <> "") (String.split_on_char ' ' args) with
+    | [] | [ _ ] -> Err "BATCH needs an artifact and at least one file"
+    | art :: paths -> (
+      match Engine.artifact_of_string art with
+      | None -> Err ("unknown artifact " ^ art)
+      | Some artifact -> (
+        let items =
+          List.fold_left
+            (fun acc path ->
+              match acc with
+              | Error _ as e -> e
+              | Ok items -> (
+                match read_file path with
+                | src -> Ok ({ Batch.name = path; source = src } :: items)
+                | exception Sys_error msg -> Error msg))
+            (Ok []) paths
+        in
+        match items with
+        | Error msg -> Err msg
+        | Ok items ->
+          let items = List.rev items in
+          let domains = match pool with Some p -> Pool.size p | None -> 1 in
+          let results =
+            Batch.run ?pool ~domains ~engine ~artifacts:[ artifact ] items
+          in
+          let buf = Buffer.create 1024 in
+          List.iter
+            (fun ((item : Batch.item), r) ->
+              Buffer.add_string buf (Printf.sprintf "== %s ==\n" item.Batch.name);
+              match r with
+              | Ok text -> Buffer.add_string buf text
+              | Error msg -> Buffer.add_string buf ("error: " ^ msg ^ "\n"))
+            results;
+          Ok_payload (Buffer.contents buf))))
   | "TRACE", None -> (
     (* Drain whatever the ambient collector holds since the last TRACE
        (or since startup) as a Chrome trace-event JSON document. *)
@@ -55,7 +92,8 @@ let handle engine line =
       | _ -> Engine.Trip
     in
     artifact_reply engine artifact path
-  | (("CLASSIFY" | "DEPS" | "TRIP" | "INVALIDATE") as cmd), None ->
+  | (("CLASSIFY" | "DEPS" | "TRIP" | "INVALIDATE" | "PASSES" | "BATCH") as cmd), None
+    ->
     Err (cmd ^ " needs a file argument")
   | (("QUIT" | "STATS" | "RESET" | "TRACE") as cmd), Some _ ->
     Err (cmd ^ " takes no argument")
@@ -70,7 +108,7 @@ let reply_to_string = function
     Printf.sprintf "ERR %s\n" msg
   | Bye -> "BYE\n"
 
-let run engine ic oc =
+let run ?pool engine ic oc =
   let requests = Metrics.counter (Engine.metrics engine) "server.requests" in
   let rec loop () =
     match input_line ic with
@@ -82,12 +120,13 @@ let run engine ic oc =
         try
           (* TRACE drains the collector, so its own span would be left
              open inside the payload: serve it unspanned. *)
-          if verb = "TRACE" || not (Obs.Trace.enabled ()) then handle engine line
+          if verb = "TRACE" || not (Obs.Trace.enabled ()) then
+            handle ?pool engine line
           else
             Obs.Trace.with_span ~cat:"server"
               ~attrs:[ ("verb", Obs.Trace.Str verb) ]
               "server.request"
-              (fun () -> handle engine line)
+              (fun () -> handle ?pool engine line)
         with e -> Err (Printexc.to_string e)
       in
       output_string oc (reply_to_string reply);

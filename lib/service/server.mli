@@ -5,11 +5,17 @@
     {v
     request  := COMMAND [SP ARG] NL
     COMMAND  := CLASSIFY path | DEPS path | TRIP path
-              | INVALIDATE path | STATS | RESET | QUIT
+              | BATCH artifact path...      (artifact := classify|deps|trip)
+              | PASSES path | INVALIDATE path | STATS | RESET | QUIT
     reply    := "OK " nbytes NL payload     (exactly nbytes bytes)
               | "ERR " message NL
               | "BYE" NL                    (QUIT / end of input)
     v}
+
+    [BATCH] fans the listed files out over the server's resident worker
+    pool (when one was given to {!run}) and replies with per-file
+    sections under [== path ==] headers, in argument order. [PASSES]
+    prints the pass DAG for a file with forced/lazy status per pass.
 
     Paths are read from the server's filesystem on every request; the
     cache key is the file's {e content}, so touching a file without
@@ -21,8 +27,9 @@ type reply =
   | Bye  (** sent as [BYE\n]; the loop stops *)
 
 (** [handle engine line] interprets one request line. Pure with respect
-    to the channels — exposed for tests. *)
-val handle : Engine.t -> string -> reply
+    to the channels — exposed for tests. [pool] serves [BATCH] requests
+    from resident workers; without it they run on the calling domain. *)
+val handle : ?pool:Pool.pool -> Engine.t -> string -> reply
 
 (** Serialize a reply exactly as [run] writes it. *)
 val reply_to_string : reply -> string
@@ -30,5 +37,5 @@ val reply_to_string : reply -> string
 (** [run engine ic oc] serves requests from [ic] until [QUIT] or end of
     input, flushing [oc] after every reply. I/O or per-request analysis
     errors are reported as [ERR] replies; the loop only stops on
-    [QUIT]/EOF. *)
-val run : Engine.t -> in_channel -> out_channel -> unit
+    [QUIT]/EOF. [pool] is handed to every request (see {!handle}). *)
+val run : ?pool:Pool.pool -> Engine.t -> in_channel -> out_channel -> unit

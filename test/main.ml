@@ -36,6 +36,7 @@ let () =
       Test_banerjee.suite;
       Test_dep_oracle.suite;
       Test_cache.suite;
+      Test_pipeline.suite;
       Test_pool.suite;
       Test_server.suite;
       Test_trace.suite;
