@@ -1,10 +1,17 @@
-.PHONY: build test bench bench-smoke trace-demo clean
+.PHONY: build test check bench bench-smoke trace-demo clean
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Checked mode over the corpus, warnings as errors (docs/CHECKING.md).
+check: build
+	@for f in examples/programs/*.iv; do \
+	  echo "check $$f"; \
+	  dune exec bin/ivtool.exe -- check --werror $$f || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe
@@ -23,3 +30,4 @@ trace-demo:
 
 clean:
 	dune clean
+	rm -f trace_demo.json batch_j1.out batch_j4.out

@@ -57,12 +57,27 @@ let parse_or_fail src =
 
 let with_source file f = f (parse_or_fail (read_file file))
 
-let engine_of ~no_sccp ?(cache_size = 256) () =
+let engine_of ~no_sccp ?(check_iters = 100) ?(cache_size = 256) () =
   Service.Engine.create ~capacity:cache_size
-    ~options:{ Service.Engine.use_sccp = not no_sccp }
+    ~options:{ Service.Engine.use_sccp = not no_sccp; check_iters }
     ()
 
 let render_or_fail r = match r with Ok s -> print_string s | Error msg -> fatal 2 "%s" msg
+
+(* Checked mode behind `--check`: diagnostics go to stderr (the primary
+   artifact keeps stdout); any error-severity finding exits 2. *)
+let run_check engine src =
+  match Service.Engine.check engine src with
+  | Error msg -> fatal 2 "%s" msg
+  | Ok report ->
+    List.iter
+      (fun (p : Verify.Check.part) ->
+        List.iter (fun d -> prerr_endline (Ir.Diag.to_string d)) p.Verify.Check.diags)
+      report.Verify.Check.parts;
+    let errs = Verify.Check.errors report in
+    if errs > 0 then
+      fatal 2 "check failed: %d errors, %d warnings" errs
+        (Verify.Check.warnings report)
 
 (* --- tracing plumbing (`--trace`, `--trace-summary`) ---
 
@@ -96,17 +111,20 @@ let cmd_ssa file =
       let ssa = Ir.Ssa.of_program p in
       (match Ir.Ssa.check ssa with
        | [] -> ()
-       | errs -> fatal 2 "%s" (String.concat "\n" errs));
+       | errs ->
+         fatal 2 "%s" (String.concat "\n" (List.map Ir.Diag.to_string errs)));
       print_endline (Ir.Ssa.to_string ssa))
 
 (* classify/deps/trip run through the service engine, so the CLI and
    `ivtool serve` render byte-identical reports from one code path. *)
 
-let cmd_classify no_sccp trace_file trace_summary file =
+let cmd_classify no_sccp check trace_file trace_summary file =
   let engine = engine_of ~no_sccp () in
+  let src = read_file file in
   render_or_fail
     (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
-       (fun () -> Service.Engine.classify engine (read_file file)))
+       (fun () -> Service.Engine.classify engine src));
+  if check then run_check engine src
 
 let cmd_deps trace_file trace_summary file =
   let engine = engine_of ~no_sccp:false () in
@@ -198,11 +216,58 @@ let cmd_run fuel seed file =
             v)
         cells)
 
+(* --- checked mode: the whole-pipeline verifier (lib/verify) --- *)
+
+let cmd_check no_sccp json iters werror dump_cfg inject file =
+  let src = read_file file in
+  match inject with
+  | Some kind_name -> (
+    (* Fault injection: corrupt a fresh SSA conversion, run only the
+       structural verifiers, and fail with the provoked code — the CI
+       smoke test that the verifier actually verifies. *)
+    let kind =
+      match Verify.Inject.of_string kind_name with
+      | Some k -> k
+      | None ->
+        fatal 1 "unknown fault %S (expected one of: %s)" kind_name
+          (String.concat ", " (List.map fst Verify.Inject.kinds))
+    in
+    let ssa = Ir.Ssa.of_program (parse_or_fail src) in
+    match Verify.Inject.apply kind ssa with
+    | Error msg -> fatal 2 "cannot inject %s: %s" kind_name msg
+    | Ok desc ->
+      Printf.eprintf "injected fault (%s): %s\n%!" kind_name desc;
+      let diags = Verify.Structural.check_ir ssa in
+      List.iter (fun d -> print_endline (Ir.Diag.to_string d)) diags;
+      let expected = Verify.Inject.expected_code kind in
+      if
+        List.exists (fun (d : Ir.Diag.t) -> d.Ir.Diag.code = expected) diags
+      then fatal 2 "verification failed as expected (%s)" expected
+      else fatal 125 "fault injected but %s was not reported" expected)
+  | None ->
+    let engine = engine_of ~no_sccp ~check_iters:iters () in
+    if dump_cfg then begin
+      match Analysis.Pipeline.lower (Service.Engine.pipeline engine src) with
+      | Ok cfg -> print_endline (Ir.Cfg.to_string cfg)
+      | Error msg -> fatal 2 "%s" msg
+    end;
+    (match Service.Engine.check engine src with
+     | Error msg -> fatal 2 "%s" msg
+     | Ok report ->
+       print_string
+         (if json then Verify.Check.to_json report
+          else Verify.Check.to_text report);
+       let errs = Verify.Check.errors report in
+       let warns = Verify.Check.warnings report in
+       if errs > 0 || (werror && warns > 0) then
+         fatal 2 "check failed: %d errors, %d warnings%s" errs warns
+           (if werror && errs = 0 then " (warnings-as-errors)" else ""))
+
 (* --- service commands --- *)
 
 let parse_artifacts spec =
   let names =
-    if spec = "all" then [ "classify"; "deps"; "trip" ]
+    if spec = "all" then [ "classify"; "deps"; "trip"; "check" ]
     else String.split_on_char ',' spec |> List.map String.trim
          |> List.filter (fun s -> s <> "")
   in
@@ -211,11 +276,13 @@ let parse_artifacts spec =
     (fun name ->
       match Service.Engine.artifact_of_string name with
       | Some a -> a
-      | None -> fatal 1 "unknown artifact %S (expected classify, deps, trip or all)" name)
+      | None ->
+        fatal 1 "unknown artifact %S (expected classify, deps, trip, check or all)"
+          name)
     names
 
-let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats trace_file
-    trace_summary files =
+let cmd_batch jobs repeat artifacts timeout cache_size no_sccp check stats
+    trace_file trace_summary files =
   let artifacts = parse_artifacts artifacts in
   let engine = engine_of ~no_sccp ~cache_size () in
   let items =
@@ -248,6 +315,31 @@ let cmd_batch jobs repeat artifacts timeout cache_size no_sccp stats trace_file
         incr failures;
         Printf.printf "error: %s\n" msg)
     results;
+  if check then begin
+    let check_failures = ref 0 in
+    List.iter
+      (fun (item : Service.Batch.item) ->
+        match Service.Engine.check engine item.Service.Batch.source with
+        | Error msg ->
+          incr check_failures;
+          Printf.eprintf "check %s: error: %s\n" item.Service.Batch.name msg
+        | Ok report ->
+          List.iter
+            (fun (p : Verify.Check.part) ->
+              List.iter
+                (fun d ->
+                  Printf.eprintf "check %s: %s\n" item.Service.Batch.name
+                    (Ir.Diag.to_string d))
+                p.Verify.Check.diags)
+            report.Verify.Check.parts;
+          if Verify.Check.errors report > 0 then incr check_failures)
+      items;
+    if !check_failures > 0 then begin
+      if stats then prerr_string (Service.Engine.stats_report engine);
+      fatal 2 "checked mode: %d of %d files failed" !check_failures
+        (List.length items)
+    end
+  end;
   if stats then prerr_string (Service.Engine.stats_report engine);
   if !failures > 0 then
     fatal 2 "%d of %d files failed" !failures (List.length results)
@@ -318,10 +410,52 @@ let trace_summary_flag =
 let cache_size_flag =
   Arg.(value & opt int 1024 & info [ "cache-size" ] ~doc:"Artifact cache capacity (entries).")
 
+let check_flag =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Run checked mode after the artifact: structural verifiers, the \
+                 classification oracle and the transform validators; any \
+                 error-severity finding exits 2 (diagnostics on stderr).")
+
 let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify every loop variable (the paper's algorithm).")
-    Term.(const cmd_classify $ no_sccp_flag $ trace_flag $ trace_summary_flag $ file_arg)
+    Term.(const cmd_classify $ no_sccp_flag $ check_flag $ trace_flag
+          $ trace_summary_flag $ file_arg)
+
+let check_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let iters =
+    Arg.(value & opt int 100
+         & info [ "iters" ] ~docv:"N"
+             ~doc:"Oracle bound: compare each loop's first $(docv) iterations.")
+  in
+  let werror =
+    Arg.(value & flag
+         & info [ "werror" ] ~doc:"Exit nonzero on warnings too (CI mode).")
+  in
+  let dump_cfg =
+    Arg.(value & flag
+         & info [ "dump-cfg" ]
+             ~doc:"Print the pristine lowered CFG (the lower pass artifact the \
+                   structural verifier consumes) before the report.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"Corrupt the IR first (phi-arity, dangling-def, bad-edge, \
+                   nondom-use) and verify the checker catches it; exits 2 with \
+                   the fault's diagnostic code.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify the whole pipeline over a file: CFG/SSA/looptree structure, \
+             every classification differentially against the interpreter, and \
+             each transform against the untransformed program.")
+    Term.(const cmd_check $ no_sccp_flag $ json $ iters $ werror $ dump_cfg
+          $ inject $ file_arg)
 
 let deps_cmd =
   Cmd.v
@@ -403,7 +537,7 @@ let batch_cmd =
   let artifacts =
     Arg.(value & opt string "classify"
          & info [ "artifacts" ] ~docv:"LIST"
-             ~doc:"Comma-separated artifacts: classify, deps, trip, or all.")
+             ~doc:"Comma-separated artifacts: classify, deps, trip, check, or all.")
   in
   let timeout =
     Arg.(value & opt (some float) None
@@ -419,7 +553,8 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Analyze a corpus of programs in parallel through the caching service.")
     Term.(const cmd_batch $ jobs $ repeat $ artifacts $ timeout $ cache_size_flag
-          $ no_sccp_flag $ stats $ trace_flag $ trace_summary_flag $ files)
+          $ no_sccp_flag $ check_flag $ stats $ trace_flag $ trace_summary_flag
+          $ files)
 
 let serve_cmd =
   let jobs =
@@ -457,6 +592,7 @@ let () =
       simple "cfg" "Dump the lowered control-flow graph." cmd_cfg;
       simple "ssa" "Dump the SSA form." cmd_ssa;
       classify_cmd;
+      check_cmd;
       deps_cmd;
       explain_cmd;
       simple "baseline" "Run classical (iterative) IV detection." cmd_baseline;

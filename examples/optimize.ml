@@ -55,7 +55,7 @@ let () =
 
   (match Ir.Ssa.check ssa with
    | [] -> print_endline "ssa after rewrite: valid"
-   | errs -> List.iter print_endline errs);
+   | errs -> List.iter (fun d -> print_endline (Ir.Diag.to_string d)) errs);
 
   let optimized = footprint ssa params in
   Printf.printf "semantics preserved: %b\n" (reference = optimized);

@@ -17,8 +17,25 @@ type pass =
   | Trip
   | Promote
   | Depgraph
+  | VerifyIr
+  | VerifyClass
+  | VerifyTrans
 
-let all = [ Parse; Lower; Ssa; Looptree; Sccp; Classify; Trip; Promote; Depgraph ]
+let all =
+  [
+    Parse;
+    Lower;
+    Ssa;
+    VerifyIr;
+    Looptree;
+    Sccp;
+    Classify;
+    Trip;
+    Promote;
+    Depgraph;
+    VerifyClass;
+    VerifyTrans;
+  ]
 
 let name = function
   | Parse -> "parse"
@@ -30,6 +47,9 @@ let name = function
   | Trip -> "trip"
   | Promote -> "promote"
   | Depgraph -> "depgraph"
+  | VerifyIr -> "verify_ir"
+  | VerifyClass -> "verify_class"
+  | VerifyTrans -> "verify_trans"
 
 let of_name = function
   | "parse" -> Some Parse
@@ -41,6 +61,9 @@ let of_name = function
   | "trip" -> Some Trip
   | "promote" -> Some Promote
   | "depgraph" -> Some Depgraph
+  | "verify_ir" -> Some VerifyIr
+  | "verify_class" -> Some VerifyClass
+  | "verify_trans" -> Some VerifyTrans
   | _ -> None
 
 (* Ssa depends on Parse, not Lower: SSA conversion mutates the CFG it
@@ -56,6 +79,9 @@ let inputs = function
   | Trip -> [ Classify ]
   | Promote -> [ Classify ]
   | Depgraph -> [ Promote ]
+  | VerifyIr -> [ Lower; Ssa ]
+  | VerifyClass -> [ Promote ]
+  | VerifyTrans -> [ Parse; Promote ]
 
 let description = function
   | Parse -> "source text -> AST"
@@ -67,6 +93,9 @@ let description = function
   | Trip -> "trip-count report"
   | Promote -> "multiloop promotion (nested IV tuples)"
   | Depgraph -> "dependence graph (service layer)"
+  | VerifyIr -> "structural IR verification: CFG, SSA, looptree (service layer)"
+  | VerifyClass -> "classification oracle vs the interpreter (service layer)"
+  | VerifyTrans -> "transform validation, structural + differential (service layer)"
 
 (* -- options -- *)
 
@@ -421,7 +450,8 @@ let ensure_ssa t =
         | [] ->
           set_digest t Ssa (Ir.Ssa.to_string ssa);
           Ok ssa
-        | errs -> Error (String.concat "\n" errs))
+        | errs ->
+          Error (String.concat "\n" (List.map Ir.Diag.to_string errs)))
     in
     t.v_ssa <- Some v;
     v
@@ -568,7 +598,9 @@ let force t pass =
       | Classify -> discard (ensure_classify t)
       | Trip -> discard (ensure_trip t)
       | Promote -> discard (ensure_promote t)
-      | Depgraph -> Error "pass depgraph is forced by the service layer")
+      | Depgraph -> Error "pass depgraph is forced by the service layer"
+      | VerifyIr | VerifyClass | VerifyTrans ->
+        Error ("pass " ^ name pass ^ " is forced by the service layer"))
 
 let forced t pass =
   locked t (fun () ->
@@ -581,7 +613,8 @@ let forced t pass =
       | Classify -> Option.is_some t.v_classify
       | Trip -> Option.is_some t.v_trip
       | Promote -> Option.is_some t.v_promote
-      | Depgraph -> Hashtbl.mem t.digests Depgraph)
+      | (Depgraph | VerifyIr | VerifyClass | VerifyTrans) as p ->
+        Hashtbl.mem t.digests p)
 
 let digest t pass = locked t (fun () -> Hashtbl.find_opt t.digests pass)
 

@@ -23,7 +23,10 @@
     The [Depgraph] pass is declared in the DAG (so the pass listing and
     key composition cover it) but is {e forced} by the service layer:
     dependence testing lives in [lib/dependence], above this library.
-    The engine records its completion with {!note}. *)
+    The engine records its completion with {!note}. The three verify
+    passes ([VerifyIr], [VerifyClass], [VerifyTrans]) follow the same
+    pattern: declared here, computed by [lib/verify] through the
+    engine's checked mode. *)
 
 (* -- the pass DAG -- *)
 
@@ -39,6 +42,16 @@ type pass =
   | Trip  (** per-loop trip-count report (projection of Classify) *)
   | Promote  (** multiloop promotion (§5.3); final classification *)
   | Depgraph  (** dependence graph (§6) — forced by the service layer *)
+  | VerifyIr
+      (** structural verification of the lowered CFG, the SSA form and
+          the loop forest — forced by the service layer (lib/verify) *)
+  | VerifyClass
+      (** the classification soundness oracle (differential against the
+          interpreter) — forced by the service layer *)
+  | VerifyTrans
+      (** transform validation (structural + differential after
+          DCE/LICM/strength-reduction/normalize) — forced by the
+          service layer *)
 
 (** Every pass, in topological order. *)
 val all : pass list

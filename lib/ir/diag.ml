@@ -1,0 +1,57 @@
+(* Structured diagnostics: one record type shared by every checker. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Program
+  | Block of Label.t
+  | Instr of Instr.Id.t
+  | Edge of Label.t * Label.t
+  | Loop of string
+  | Var of string
+
+type t = {
+  code : string;
+  severity : severity;
+  origin : string;
+  loc : location;
+  message : string;
+}
+
+let v ?(severity = Error) ?(loc = Program) ~code ~origin fmt =
+  Format.kasprintf (fun message -> { code; severity; origin; loc; message }) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let location_to_string = function
+  | Program -> "program"
+  | Block l -> Printf.sprintf "block %d" l
+  | Instr id -> Printf.sprintf "instr %%%d" id
+  | Edge (a, b) -> Printf.sprintf "edge %d->%d" a b
+  | Loop name -> Printf.sprintf "loop %s" name
+  | Var name -> Printf.sprintf "var %s" name
+
+let is_error d = d.severity = Error
+
+let count diags =
+  List.fold_left
+    (fun (e, w) d ->
+      match d.severity with
+      | Error -> (e + 1, w)
+      | Warning -> (e, w + 1)
+      | Info -> (e, w))
+    (0, 0) diags
+
+let to_string d =
+  match d.loc with
+  | Program ->
+    Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.code d.origin
+      d.message
+  | loc ->
+    Printf.sprintf "%s[%s] %s (%s): %s" (severity_to_string d.severity) d.code
+      d.origin (location_to_string loc) d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

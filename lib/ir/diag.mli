@@ -1,0 +1,52 @@
+(** Structured diagnostics for the whole-pipeline verifier.
+
+    Every checker in the system — SSA well-formedness, CFG structure,
+    looptree consistency, the classification oracle, the transform
+    validators — reports through this one type, so the CLI, the serve
+    protocol and the test suite all render and filter findings the same
+    way. A diagnostic carries a stable machine-readable code (the thing
+    CI and golden tests match on), a severity, the pass that produced
+    it, and a location inside the program under analysis. *)
+
+type severity = Error | Warning | Info
+
+(** Where in the program a finding points. [Program] is a whole-program
+    finding with no better anchor. *)
+type location =
+  | Program
+  | Block of Label.t
+  | Instr of Instr.Id.t
+  | Edge of Label.t * Label.t  (** source block -> target block *)
+  | Loop of string  (** loop name, e.g. "L19" *)
+  | Var of string  (** an SSA name, e.g. "j2" *)
+
+type t = {
+  code : string;  (** stable code, e.g. "SSA001" — never reworded *)
+  severity : severity;
+  origin : string;  (** checker / pass of origin, e.g. "ssa", "oracle" *)
+  loc : location;
+  message : string;
+}
+
+(** [v ~code ~origin fmt ...] builds a diagnostic with a formatted
+    message. Severity defaults to [Error], location to [Program]. *)
+val v :
+  ?severity:severity ->
+  ?loc:location ->
+  code:string ->
+  origin:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_to_string : severity -> string
+val location_to_string : location -> string
+val is_error : t -> bool
+
+(** [count diags] is [(errors, warnings)]. *)
+val count : t list -> int * int
+
+(** One line: [error[SSA001] ssa (instr 14): phi has 2 args but 3 preds].
+    The rendering is stable — golden tests depend on it. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -123,6 +123,10 @@ let run ?(fuel = 100_000) ?(on_instr = fun _ _ _ -> ()) ?(params = fun _ -> 0)
        let phis, rest =
          List.partition (fun i -> i.Instr.op = Instr.Phi) block.Cfg.instrs
        in
+       (* A block with no instructions still burns fuel: DCE can empty
+          an unobservable infinite loop's body, and fuel charged only
+          per instruction would never run out in it. *)
+       if phis = [] && rest = [] then charge ();
        (match phis with
         | [] -> ()
         | _ ->

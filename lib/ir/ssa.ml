@@ -324,7 +324,11 @@ let check t =
   let dom = t.dom in
   let preds = Cfg.pred_table cfg in
   let errors = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let err ?loc code fmt =
+    Format.kasprintf
+      (fun s -> errors := Diag.v ?loc ~code ~origin:"ssa" "%s" s :: !errors)
+      fmt
+  in
   let block_of id =
     match Instr.Id.Table.find_opt (Cfg.index cfg) id with
     | Some (l, _) -> Some l
@@ -335,11 +339,12 @@ let check t =
       else
         match instr.Instr.op with
         | Instr.Phi ->
+          let loc = Diag.Instr instr.Instr.id in
           let arity = Array.length instr.Instr.args in
           let npreds = List.length preds.(label) in
           if arity <> npreds then
-            err "phi %a in %a has %d args but %d preds" Instr.Id.pp instr.Instr.id
-              Label.pp label arity npreds
+            err ~loc "SSA001" "phi %a in %a has %d args but %d preds" Instr.Id.pp
+              instr.Instr.id Label.pp label arity npreds
           else
             List.iteri
               (fun i p ->
@@ -348,24 +353,28 @@ let check t =
                   match block_of d with
                   | Some db ->
                     if Dom.is_reachable dom p && not (Dom.dominates dom db p) then
-                      err "phi %a arg %d: def %a does not dominate pred %a"
+                      err ~loc "SSA002"
+                        "phi %a arg %d: def %a does not dominate pred %a"
                         Instr.Id.pp instr.Instr.id i Instr.Id.pp d Label.pp p
                   | None ->
-                    err "phi %a arg %d: dangling def %a" Instr.Id.pp instr.Instr.id i
-                      Instr.Id.pp d)
+                    err ~loc "SSA003" "phi %a arg %d: dangling def %a" Instr.Id.pp
+                      instr.Instr.id i Instr.Id.pp d)
                 | Instr.Const _ | Instr.Param _ -> ())
               preds.(label)
         | _ ->
           Array.iter
             (fun (v : Instr.value) ->
+              let loc = Diag.Instr instr.Instr.id in
               match v with
               | Instr.Def d -> (
                 match block_of d with
                 | Some db ->
                   if not (Dom.dominates dom db label) then
-                    err "use of %a in %a not dominated by its def in %a" Instr.Id.pp d
-                      Label.pp label Label.pp db
-                | None -> err "dangling operand %a in %a" Instr.Id.pp d Label.pp label)
+                    err ~loc "SSA004" "use of %a in %a not dominated by its def in %a"
+                      Instr.Id.pp d Label.pp label Label.pp db
+                | None ->
+                  err ~loc "SSA005" "dangling operand %a in %a" Instr.Id.pp d
+                    Label.pp label)
               | Instr.Const _ | Instr.Param _ -> ())
             instr.Instr.args);
   List.rev !errors

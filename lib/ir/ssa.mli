@@ -43,8 +43,9 @@ val of_program : Ast.program -> t
 
 (** [check t] verifies SSA well-formedness (phi arity = predecessor
     count; every use dominated by its definition; phi arguments dominate
-    their predecessor edges); returns violations, empty when valid. *)
-val check : t -> string list
+    their predecessor edges); returns structured violations ([SSA001]..
+    [SSA005]), empty when valid. *)
+val check : t -> Diag.t list
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -11,26 +11,31 @@
 
 module Pipeline = Analysis.Pipeline
 
-type options = { use_sccp : bool }
+type options = { use_sccp : bool; check_iters : int }
 
-let default_options = { use_sccp = true }
+let default_options = { use_sccp = true; check_iters = 100 }
 
-type artifact = Classify | Deps | Trip
+type artifact = Classify | Deps | Trip | Check
 
 let artifact_to_string = function
   | Classify -> "classify"
   | Deps -> "deps"
   | Trip -> "trip"
+  | Check -> "check"
 
 let artifact_of_string = function
   | "classify" -> Some Classify
   | "deps" -> Some Deps
   | "trip" -> Some Trip
+  | "check" -> Some Check
   | _ -> None
 
-(* One cache holds both pipeline instances and rendered dependence
-   reports; the key derivation keeps them apart. *)
-type entry = E_pipeline of Pipeline.t | E_text of string
+(* One cache holds pipeline instances, rendered dependence reports and
+   verify-report parts; the key derivation keeps them apart. *)
+type entry =
+  | E_pipeline of Pipeline.t
+  | E_text of string
+  | E_part of Verify.Check.part
 
 type pass_counters = { p_hits : int Atomic.t; p_misses : int Atomic.t }
 
@@ -70,7 +75,7 @@ let pipeline_for t base src : Pipeline.t =
           (Pipeline.create ~options:{ Pipeline.use_sccp = t.options.use_sccp } src))
   with
   | E_pipeline p -> p
-  | E_text _ -> assert false
+  | E_text _ | E_part _ -> assert false
 
 let pipeline t src = pipeline_for t (base_key t src) src
 
@@ -88,6 +93,9 @@ let phase_metric = function
   | Pipeline.Trip -> "phase.trip"
   | Pipeline.Promote -> "phase.promote"
   | Pipeline.Depgraph -> "phase.deps"
+  | Pipeline.VerifyIr -> "phase.verify_ir"
+  | Pipeline.VerifyClass -> "phase.verify_class"
+  | Pipeline.VerifyTrans -> "phase.verify_trans"
 
 (* Force one pass: a hit when the pipeline already holds its result
    (even a cached error), a miss — timed under the legacy phase metric,
@@ -158,7 +166,103 @@ let deps_text t p : (string, string) result =
        | E_text text ->
          Pipeline.note p Pipeline.Depgraph (Digest.of_strings [ text ]);
          Ok text
-       | E_pipeline _ -> assert false))
+       | E_pipeline _ | E_part _ -> assert false))
+
+(* -- checked mode: the three verify passes (lib/verify) --
+
+   Each part is cached on its own key, derived from the digests of the
+   passes it actually reads — the structural part from Lower + Ssa (this
+   is the consumer the Lower pass never had), the oracle from Promote
+   plus the iteration bound, the transform validators from the source
+   digest (they re-lower their own fresh copies, and their footprints
+   depend on the program text, not on what it classified to). Completed
+   parts are recorded on the pipeline with [Pipeline.note], so `ivtool
+   passes` and STATS show checked mode like any other pass. *)
+
+let verify_key tag digests =
+  List.fold_left
+    (fun acc d -> Digest.feed_string acc (Digest.to_hex d))
+    (Digest.of_strings [ tag ]) digests
+
+let verify_ir_key p =
+  match (Pipeline.digest p Pipeline.Lower, Pipeline.digest p Pipeline.Ssa) with
+  | Some dl, Some ds -> Some (verify_key "part.verify_ir" [ dl; ds ])
+  | _ -> None
+
+let verify_class_key t p =
+  match Pipeline.digest p Pipeline.Promote with
+  | Some dp ->
+    Some (Digest.feed_int (verify_key "part.verify_class" [ dp ]) t.options.check_iters)
+  | None -> None
+
+let verify_trans_key base = Digest.feed_string base "part.verify_trans"
+
+(* Force one verify pass through the part cache, with the same hit/miss
+   accounting, timeout tick and phase timing as any other pass. *)
+let ensure_part t p pass key compute : Verify.Check.part =
+  let c = counters_of t pass in
+  let computed = ref false in
+  let entry =
+    Cache.find_or_add t.cache key (fun () ->
+        computed := true;
+        Pool.tick ();
+        Metrics.time t.metrics (phase_metric pass) (fun () -> E_part (compute ())))
+  in
+  if !computed then Atomic.incr c.p_misses else Atomic.incr c.p_hits;
+  match entry with
+  | E_part part ->
+    Pipeline.note p pass (Digest.of_strings [ Verify.Check.part_to_text part ]);
+    part
+  | E_pipeline _ | E_text _ -> assert false
+
+(* The check chain forces Lower (unlike every other artifact): the
+   structural verifier is the lowered CFG's consumer. *)
+let check_chain =
+  Pipeline.[ Parse; Lower; Ssa; Looptree; Sccp; Classify; Promote ]
+
+let check_parts t base p : (Verify.Check.report, string) result =
+  match ensure_chain t p check_chain with
+  | Error e -> Error e
+  | Ok () ->
+    let get = function Ok v -> v | Error _ -> assert false (* chain forced *) in
+    let prog = get (Pipeline.parse p) in
+    let lower = get (Pipeline.lower p) in
+    let ssa = get (Pipeline.ssa p) in
+    let a = get (Pipeline.promoted p) in
+    let structural =
+      match verify_ir_key p with
+      | Some key ->
+        ensure_part t p Pipeline.VerifyIr key (fun () ->
+            Verify.Check.structural_part ~lower ssa)
+      | None -> Verify.Check.structural_part ~lower ssa
+    in
+    (* A structurally broken program cannot be meaningfully interpreted
+       or transformed; report the structural findings alone. *)
+    if List.exists Ir.Diag.is_error structural.Verify.Check.diags then
+      Ok { Verify.Check.parts = [ structural ] }
+    else begin
+      let d = Analysis.Driver.of_analysis a in
+      let oracle =
+        match verify_class_key t p with
+        | Some key ->
+          ensure_part t p Pipeline.VerifyClass key (fun () ->
+              Verify.Check.oracle_part ~iters:t.options.check_iters d)
+        | None -> Verify.Check.oracle_part ~iters:t.options.check_iters d
+      in
+      let trans =
+        ensure_part t p Pipeline.VerifyTrans (verify_trans_key base) (fun () ->
+            Verify.Check.transform_part prog)
+      in
+      Ok { Verify.Check.parts = [ structural; oracle; trans ] }
+    end
+
+(* [check t src] is the structured report (the CLI's `--check` and
+   `ivtool check` read it); the rendered artifact below serves batch and
+   the CHECK verb. *)
+let check t src : (Verify.Check.report, string) result =
+  Metrics.incr (Metrics.counter t.metrics "requests.check");
+  let base = base_key t src in
+  check_parts t base (pipeline_for t base src)
 
 (* -- rendered artifacts -- *)
 
@@ -166,11 +270,13 @@ let final_pass = function
   | Classify -> Pipeline.Promote
   | Trip -> Pipeline.Trip
   | Deps -> Pipeline.Depgraph
+  | Check -> Pipeline.VerifyTrans
 
 let render t artifact src : (string, string) result =
   let tag = artifact_to_string artifact in
   Metrics.incr (Metrics.counter t.metrics ("requests." ^ tag));
-  let p = pipeline t src in
+  let base = base_key t src in
+  let p = pipeline_for t base src in
   let hit = Pipeline.forced p (final_pass artifact) in
   let compute () =
     match artifact with
@@ -183,6 +289,7 @@ let render t artifact src : (string, string) result =
       | Error e -> Error e
       | Ok () -> Pipeline.trip_report p)
     | Deps -> deps_text t p
+    | Check -> Result.map Verify.Check.to_text (check_parts t base p)
   in
   let result =
     if hit || not (Obs.Trace.enabled ()) then compute ()
@@ -206,15 +313,26 @@ let invalidate t src =
   let pk = pipeline_key base in
   (* Drop the dependence report first: its key derives from the promote
      digest, reachable only while the pipeline entry is alive. *)
-  let removed_deps =
+  let removed_derived =
     match Cache.peek t.cache pk with
-    | Some (E_pipeline p) -> (
-      match Pipeline.digest p Pipeline.Promote with
-      | Some pd -> if Cache.invalidate t.cache (deps_key pd) then 1 else 0
-      | None -> 0)
+    | Some (E_pipeline p) ->
+      let drop = function
+        | Some key -> if Cache.invalidate t.cache key then 1 else 0
+        | None -> 0
+      in
+      drop
+        (match Pipeline.digest p Pipeline.Promote with
+         | Some pd -> Some (deps_key pd)
+         | None -> None)
+      + drop (verify_ir_key p)
+      + drop (verify_class_key t p)
+      + drop
+          (if Pipeline.forced p Pipeline.VerifyTrans then
+             Some (verify_trans_key base)
+           else None)
     | _ -> 0
   in
-  removed_deps + (if Cache.invalidate t.cache pk then 1 else 0)
+  removed_derived + (if Cache.invalidate t.cache pk then 1 else 0)
 
 let clear t =
   Cache.clear t.cache;
@@ -267,7 +385,7 @@ let passes_report t src =
         | l -> String.concat ", " (List.map Pipeline.name l)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-9s %-6s %-16s <- %s\n" (Pipeline.name pass) status
+        (Printf.sprintf "%-12s %-6s %-16s <- %s\n" (Pipeline.name pass) status
            digest inputs))
     Pipeline.all;
   Buffer.contents buf

@@ -12,7 +12,9 @@
     The dependence report — the one pass computed above [lib/analysis]
     — is cached under a key derived from the promote pass's result
     digest, so it is shared by any source (under any options) whose
-    promoted classification renders identically.
+    promoted classification renders identically. Checked mode
+    ({!check}) works the same way: each verify part is cached under the
+    digests of the passes it actually reads.
 
     Phase timings ([phase.parse], [phase.ssa], [phase.classify],
     [phase.deps], …) are recorded in the metrics registry on the miss
@@ -20,11 +22,16 @@
     honor cooperative timeouts. One engine may be shared by all domains
     of a {!Pool}. *)
 
-type options = { use_sccp : bool }
+type options = {
+  use_sccp : bool;
+  check_iters : int;
+      (** the oracle's per-loop iteration bound N for checked mode *)
+}
 
 val default_options : options
+(** [{ use_sccp = true; check_iters = 100 }] *)
 
-type artifact = Classify | Deps | Trip
+type artifact = Classify | Deps | Trip | Check
 
 val artifact_to_string : artifact -> string
 val artifact_of_string : string -> artifact option
@@ -56,6 +63,15 @@ val render : t -> artifact -> string -> (string, string) result
 val classify : t -> string -> (string, string) result
 val deps : t -> string -> (string, string) result
 val trip : t -> string -> (string, string) result
+
+(** [check t src] is checked mode as a structured report: the three
+    verify passes ([verify_ir], [verify_class], [verify_trans]) forced
+    through the part cache — each keyed off the digests of the passes it
+    reads, each recorded on the pipeline so [passes]/STATS show it. The
+    rendered equivalent is [render t Check src]. When the structural
+    part finds errors the report carries only that part: a broken IR is
+    not interpreted or transformed. *)
+val check : t -> string -> (Verify.Check.report, string) result
 
 (** [invalidate t src] drops the pipeline entry for [src] (under the
     engine's options) and its derived dependence report; returns how

@@ -84,16 +84,18 @@ let handle ?pool engine line =
   | "INVALIDATE", Some path ->
     with_file path (fun src ->
         Ok_payload (Printf.sprintf "invalidated %d\n" (Engine.invalidate engine src)))
-  | (("CLASSIFY" | "DEPS" | "TRIP") as cmd), Some path ->
+  | (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK") as cmd), Some path ->
     let artifact =
       match cmd with
       | "CLASSIFY" -> Engine.Classify
       | "DEPS" -> Engine.Deps
+      | "CHECK" -> Engine.Check
       | _ -> Engine.Trip
     in
     artifact_reply engine artifact path
-  | (("CLASSIFY" | "DEPS" | "TRIP" | "INVALIDATE" | "PASSES" | "BATCH") as cmd), None
-    ->
+  | ( (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK" | "INVALIDATE" | "PASSES" | "BATCH")
+      as cmd),
+      None ) ->
     Err (cmd ^ " needs a file argument")
   | (("QUIT" | "STATS" | "RESET" | "TRACE") as cmd), Some _ ->
     Err (cmd ^ " takes no argument")

@@ -1,0 +1,46 @@
+(** The checked-mode façade: assembles the three checker families into
+    one report with stable text and JSON renderings.
+
+    A report is a list of parts — one per family — each carrying its
+    diagnostics, a one-line summary note, and the number of individual
+    checks performed (so "clean" is distinguishable from "vacuous"). The
+    service engine caches each part under a digest-derived key, exactly
+    like any other pass artifact; both renderings are deterministic
+    functions of the part data. *)
+
+type part = {
+  family : string;  (** "structural" | "oracle" | "transforms" *)
+  note : string;  (** one line of coverage stats *)
+  checks : int;
+  diags : Ir.Diag.t list;
+}
+
+type report = { parts : part list }
+
+(** The three parts. [structural_part] also verifies the pristine
+    lowered CFG when given one — this is the consumer the `lower` pass
+    never had. [oracle_part] interprets under two fixed parameter
+    valuations and '??' streams (deterministic, so cached text is
+    byte-stable across runs and domains), bounding each loop's checked
+    iterations at [iters]. *)
+val structural_part : ?lower:Ir.Cfg.t -> Ir.Ssa.t -> part
+
+val oracle_part : ?iters:int -> Analysis.Driver.t -> part
+val transform_part : ?fuel:int -> Ir.Ast.program -> part
+
+val errors : report -> int
+val warnings : report -> int
+val checks : report -> int
+
+val part_to_text : part -> string
+
+(** Text rendering: one [== family ==] section per part, diagnostics one
+    per line, and a final [check: E errors, W warnings, N checks] line. *)
+val to_text : report -> string
+
+(** JSON object: [{"errors":..,"warnings":..,"checks":..,"parts":[..]}]. *)
+val to_json : report -> string
+
+(** [run src] is the whole standalone check — parse, build SSA, analyze,
+    all three parts — without a service engine. *)
+val run : ?iters:int -> string -> (report, string) result

@@ -1,0 +1,105 @@
+(* Deliberate IR corruption. The IR keeps instruction argument arrays
+   and block terminators mutable for the rewriting passes; that same
+   mutability gives the fault injector its hooks. *)
+
+module Cfg = Ir.Cfg
+module Instr = Ir.Instr
+
+type kind = Phi_arity | Dangling_def | Bad_edge | Nondom_use
+
+let kinds =
+  [
+    ("phi-arity", Phi_arity);
+    ("dangling-def", Dangling_def);
+    ("bad-edge", Bad_edge);
+    ("nondom-use", Nondom_use);
+  ]
+
+let of_string s = List.assoc_opt s kinds
+let to_string k = fst (List.find (fun (_, k') -> k' = k) kinds)
+
+let expected_code = function
+  | Phi_arity -> "SSA001"
+  | Dangling_def -> "SSA005"
+  | Bad_edge -> "CFG001"
+  | Nondom_use -> "SSA004"
+
+(* First instruction satisfying [p], in block order. *)
+let find_instr cfg p =
+  Cfg.fold_instrs cfg
+    (fun acc label instr ->
+      match acc with Some _ -> acc | None -> p label instr)
+    None
+
+let apply kind (ssa : Ir.Ssa.t) : (string, string) result =
+  let cfg = Ir.Ssa.cfg ssa in
+  let dom = Ir.Ssa.dom ssa in
+  match kind with
+  | Phi_arity -> (
+    match
+      find_instr cfg (fun _ (i : Instr.t) ->
+          if i.Instr.op = Instr.Phi && Array.length i.Instr.args > 1 then Some i
+          else None)
+    with
+    | None -> Error "no phi with more than one argument to break"
+    | Some i ->
+      i.Instr.args <- Array.sub i.Instr.args 0 (Array.length i.Instr.args - 1);
+      Ok (Printf.sprintf "dropped the last argument of phi %%%d" i.Instr.id))
+  | Dangling_def -> (
+    let ghost = Cfg.num_instrs cfg + 1000 in
+    match
+      find_instr cfg (fun _ (i : Instr.t) ->
+          if
+            i.Instr.op <> Instr.Phi
+            && Array.exists
+                 (function Instr.Def _ -> true | _ -> false)
+                 i.Instr.args
+          then Some i
+          else None)
+    with
+    | None -> Error "no instruction with a def operand"
+    | Some i ->
+      let j = ref (-1) in
+      Array.iteri
+        (fun k v ->
+          if !j < 0 then
+            match v with Instr.Def _ -> j := k | _ -> ())
+        i.Instr.args;
+      i.Instr.args.(!j) <- Instr.Def ghost;
+      Ok
+        (Printf.sprintf "pointed operand %d of %%%d at missing instruction %%%d"
+           !j i.Instr.id ghost))
+  | Bad_edge -> (
+    let ghost = Cfg.num_blocks cfg + 7 in
+    match
+      List.find_opt
+        (fun l ->
+          match (Cfg.block cfg l).Cfg.term with
+          | Cfg.Jump _ | Cfg.Branch _ -> true
+          | Cfg.Halt -> false)
+        (Cfg.labels cfg)
+    with
+    | None -> Error "no block with an outgoing edge"
+    | Some l ->
+      Cfg.set_term cfg l (Cfg.Jump ghost);
+      Ok (Printf.sprintf "rewired block %d to jump to missing block %d" l ghost))
+  | Nondom_use -> (
+    (* A non-phi use site and a def whose block does not dominate it. *)
+    let candidate =
+      find_instr cfg (fun label (i : Instr.t) ->
+          if i.Instr.op = Instr.Phi || Array.length i.Instr.args = 0 then None
+          else
+            find_instr cfg (fun dlabel (d : Instr.t) ->
+                if
+                  d.Instr.id <> i.Instr.id
+                  && not (Ir.Dom.dominates dom dlabel label)
+                then Some (i, d)
+                else None))
+    in
+    match candidate with
+    | None -> Error "no def/use pair violating dominance is constructible"
+    | Some (use, def) ->
+      use.Instr.args.(0) <- Instr.Def def.Instr.id;
+      Ok
+        (Printf.sprintf "made %%%d use %%%d, whose block does not dominate it"
+           use.Instr.id def.Instr.id))

@@ -1,0 +1,23 @@
+(** Fault injection for the verifier's own test surface: deliberately
+    corrupt a well-formed SSA program so the structural checkers have
+    something real to catch. Each kind maps to a stable diagnostic code,
+    which is what the golden tests and the CI smoke test pin down. *)
+
+type kind =
+  | Phi_arity  (** drop a phi argument — caught as [SSA001] *)
+  | Dangling_def  (** point an operand at a missing instruction — [SSA005] *)
+  | Bad_edge  (** jump to a block outside the graph — [CFG001] *)
+  | Nondom_use  (** use a def that does not dominate the use — [SSA004] *)
+
+val kinds : (string * kind) list
+
+val of_string : string -> kind option
+val to_string : kind -> string
+
+(** The diagnostic code the corruption must provoke. *)
+val expected_code : kind -> string
+
+(** [apply kind ssa] mutates the SSA in place; [Ok desc] describes the
+    corruption, [Error _] when the program has no suitable site (e.g. no
+    phi to break). *)
+val apply : kind -> Ir.Ssa.t -> (string, string) result

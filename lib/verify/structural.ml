@@ -1,0 +1,168 @@
+(* Structural verifiers over built IR. These run after passes that
+   mutate the CFG in place (SSA conversion, the rewriting transforms),
+   so they defend first against shapes that would crash the deeper
+   checks: a terminator into a missing block makes pred_table and the
+   dominator computations index out of range, so CFG001 short-circuits
+   everything else. *)
+
+module Diag = Ir.Diag
+module Cfg = Ir.Cfg
+module Dom = Ir.Dom
+module Loops = Ir.Loops
+module Instr = Ir.Instr
+module Label = Ir.Label
+
+let check_cfg ?(origin = "cfg") (cfg : Cfg.t) : Diag.t list =
+  let n = Cfg.num_blocks cfg in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let err ?severity ~loc code fmt =
+    Format.kasprintf
+      (fun s -> add (Diag.v ?severity ~loc ~code ~origin "%s" s))
+      fmt
+  in
+  (* Edge symmetry with the block table: every target must exist. *)
+  let dangling = ref false in
+  List.iter
+    (fun l ->
+      let target t =
+        if t < 0 || t >= n then begin
+          dangling := true;
+          err ~loc:(Diag.Edge (l, t)) "CFG001"
+            "terminator of block %d targets missing block %d" l t
+        end
+      in
+      match (Cfg.block cfg l).Cfg.term with
+      | Cfg.Jump t -> target t
+      | Cfg.Branch (_, t, f) ->
+        target t;
+        target f
+      | Cfg.Halt -> ())
+    (Cfg.labels cfg);
+  if !dangling then List.rev !diags
+  else begin
+    (* Unique definitions: one block per instruction id. *)
+    let seen : Label.t Instr.Id.Table.t = Instr.Id.Table.create 64 in
+    Cfg.iter_instrs cfg (fun l instr ->
+        let id = instr.Instr.id in
+        match Instr.Id.Table.find_opt seen id with
+        | Some first ->
+          err ~loc:(Diag.Instr id) "CFG002"
+            "instruction %%%d defined in block %d and again in block %d" id first l
+        | None -> Instr.Id.Table.add seen id l);
+    (* Operands and branch conditions resolve to live instructions. *)
+    let check_value l at (v : Instr.value) =
+      match v with
+      | Instr.Def d ->
+        if not (Instr.Id.Table.mem seen d) then
+          err ~loc:at "CFG003" "%s in block %d names missing instruction %%%d"
+            (Diag.location_to_string at) l d
+      | Instr.Const _ | Instr.Param _ -> ()
+    in
+    Cfg.iter_instrs cfg (fun l instr ->
+        Array.iter (check_value l (Diag.Instr instr.Instr.id)) instr.Instr.args);
+    List.iter
+      (fun l ->
+        match (Cfg.block cfg l).Cfg.term with
+        | Cfg.Branch (cond, t, _) -> check_value l (Diag.Edge (l, t)) cond
+        | Cfg.Jump _ | Cfg.Halt -> ())
+      (Cfg.labels cfg);
+    (* Unique entry: nothing jumps back into it. *)
+    let entry = Cfg.entry cfg in
+    (match Cfg.predecessors cfg entry with
+     | [] -> ()
+     | preds ->
+       err ~loc:(Diag.Block entry) "CFG005"
+         "entry block %d has %d predecessors" entry (List.length preds));
+    (* Reachability: dead blocks are not unsound, and legitimate
+       programs produce them (an infinite loop's exit block), so this
+       is informational, not a warning. *)
+    let reach = Cfg.reachable cfg in
+    List.iter
+      (fun l ->
+        if not reach.(l) then
+          err ~severity:Diag.Info ~loc:(Diag.Block l) "CFG004"
+            "block %d is unreachable from the entry" l)
+      (Cfg.labels cfg);
+    List.rev !diags
+  end
+
+let check_ssa = Ir.Ssa.check
+
+let check_loops (ssa : Ir.Ssa.t) : Diag.t list =
+  let cfg = Ir.Ssa.cfg ssa in
+  let dom = Ir.Ssa.dom ssa in
+  let loops = Ir.Ssa.loops ssa in
+  let origin = "looptree" in
+  let diags = ref [] in
+  let err ~loc code fmt =
+    Format.kasprintf
+      (fun s -> diags := Diag.v ~loc ~code ~origin "%s" s :: !diags)
+      fmt
+  in
+  List.iter
+    (fun (lp : Loops.loop) ->
+      let loc = Diag.Loop lp.Loops.name in
+      if not (Label.Set.mem lp.Loops.header lp.Loops.blocks) then
+        err ~loc "LOOP001" "header block %d is not a member of the loop"
+          lp.Loops.header;
+      List.iter
+        (fun latch ->
+          if not (Label.Set.mem latch lp.Loops.blocks) then
+            err ~loc "LOOP002" "latch block %d is not a member of the loop" latch
+          else if not (List.mem lp.Loops.header (Cfg.successors cfg latch)) then
+            err ~loc "LOOP003" "latch block %d has no edge to header %d" latch
+              lp.Loops.header)
+        lp.Loops.latches;
+      Label.Set.iter
+        (fun b ->
+          if Dom.is_reachable dom b && not (Dom.dominates dom lp.Loops.header b)
+          then
+            err ~loc "LOOP004" "header %d does not dominate member block %d"
+              lp.Loops.header b)
+        lp.Loops.blocks;
+      (match lp.Loops.parent with
+       | None ->
+         if lp.Loops.depth <> 1 then
+           err ~loc "LOOP007" "root loop has depth %d (expected 1)" lp.Loops.depth
+       | Some pid ->
+         let p = Loops.loop loops pid in
+         if not (Label.Set.subset lp.Loops.blocks p.Loops.blocks) then
+           err ~loc "LOOP005" "loop is not contained in its parent %s"
+             p.Loops.name;
+         if not (List.mem lp.Loops.id p.Loops.loop_children) then
+           err ~loc "LOOP006" "parent %s does not list this loop as a child"
+             p.Loops.name;
+         if lp.Loops.depth <> p.Loops.depth + 1 then
+           err ~loc "LOOP007" "depth %d inconsistent with parent %s at depth %d"
+             lp.Loops.depth p.Loops.name p.Loops.depth);
+      List.iter
+        (fun cid ->
+          let c = Loops.loop loops cid in
+          if c.Loops.parent <> Some lp.Loops.id then
+            err ~loc "LOOP006" "child %s does not point back to this loop"
+              c.Loops.name)
+        lp.Loops.loop_children)
+    (Loops.all loops);
+  List.rev !diags
+
+let guarded origin f =
+  try f ()
+  with e ->
+    [ Diag.v ~code:"VRF999" ~origin "checker crashed: %s" (Printexc.to_string e) ]
+
+let check_ir ?lower (ssa : Ir.Ssa.t) : Diag.t list =
+  let lower_diags =
+    match lower with
+    | Some cfg -> guarded "cfg" (fun () -> check_cfg ~origin:"cfg" cfg)
+    | None -> []
+  in
+  let ssa_cfg_diags =
+    guarded "ssa-cfg" (fun () -> check_cfg ~origin:"ssa-cfg" (Ir.Ssa.cfg ssa))
+  in
+  if List.exists (fun (d : Diag.t) -> d.Diag.code = "CFG001") ssa_cfg_diags then
+    lower_diags @ ssa_cfg_diags
+  else
+    lower_diags @ ssa_cfg_diags
+    @ guarded "ssa" (fun () -> check_ssa ssa)
+    @ guarded "looptree" (fun () -> check_loops ssa)

@@ -1,0 +1,43 @@
+(** Structural verifiers: CFG well-formedness, SSA invariants, looptree
+    consistency. Pure checks over already-built IR; every finding is an
+    {!Ir.Diag.t} with a stable code.
+
+    Codes:
+    - [CFG001] terminator targets a block outside the graph
+    - [CFG002] instruction id defined in two blocks
+    - [CFG003] operand or branch condition names a missing instruction
+    - [CFG004] block unreachable from the entry (informational: an
+      infinite loop's exit block is legitimately unreachable)
+    - [CFG005] the entry block has predecessors
+    - [SSA001]..[SSA005] — see {!Ir.Ssa.check}
+    - [LOOP001] header not a member of its own loop
+    - [LOOP002] latch not a member of the loop
+    - [LOOP003] latch has no edge to the header
+    - [LOOP004] header does not dominate a member block
+    - [LOOP005] child loop not contained in its parent
+    - [LOOP006] parent/child links asymmetric
+    - [LOOP007] depth inconsistent with nesting
+    - [VRF999] a checker itself crashed (internal) *)
+
+(** [check_cfg ?origin cfg] verifies graph shape: every edge lands on a
+    real block, instruction ids are unique, operands resolve, the entry
+    has no predecessors. Unreachable blocks are reported at [Info]
+    severity.
+    [origin] tags the diagnostics (default ["cfg"]); the verify pipeline
+    uses it to tell the pristine lowered CFG from the SSA-form one. *)
+val check_cfg : ?origin:string -> Ir.Cfg.t -> Ir.Diag.t list
+
+(** [check_ssa ssa] is {!Ir.Ssa.check}. *)
+val check_ssa : Ir.Ssa.t -> Ir.Diag.t list
+
+(** [check_loops ssa] verifies the loop forest against the dominator
+    tree: header membership and dominance, latch back edges, child
+    containment, link symmetry, depth. *)
+val check_loops : Ir.Ssa.t -> Ir.Diag.t list
+
+(** [check_ir ?lower ssa] runs every structural family: the pristine
+    lowered CFG when given, then the SSA-form CFG, SSA invariants and
+    the looptree. When the SSA-form CFG has dangling edges ([CFG001])
+    the deeper checks are skipped — they index by block label and would
+    only crash. Checker exceptions become [VRF999] diagnostics. *)
+val check_ir : ?lower:Ir.Cfg.t -> Ir.Ssa.t -> Ir.Diag.t list

@@ -22,97 +22,23 @@ let check_classes src expectations =
 
 (* ---------- the classification soundness oracle ----------
 
-   Run the interpreter; at every instruction execution, evaluate the
-   instruction's classification at the current iteration number using
-   the *live* environment for symbolic atoms (atoms are invariant in the
-   loop, so their current values are the activation's values) and check
-   it against the observed value. Monotonic classes are checked for
-   (strict) monotonicity within each loop activation. *)
+   Thin wrapper over the production oracle ({!Verify.Oracle}, which this
+   helper pioneered): interpret, and at every instruction execution
+   check the classification's prediction against the observed value.
+   Failures come back as rendered diagnostic strings. *)
 
-type mono_state = { mutable last_act : int; mutable last_v : int option }
-
-let oracle_check ?(fuel = 50_000) ?(params = fun _ -> 0) ?(rand = fun () -> false)
-    ?(arrays = []) src =
+let oracle_check ?fuel ?params ?rand ?arrays src =
   let ssa = Ir.Ssa.of_source src in
   (match Ir.Ssa.check ssa with
    | [] -> ()
-   | errs -> Alcotest.failf "SSA invariant violations: %s" (String.concat "; " errs));
+   | errs ->
+     Alcotest.failf "SSA invariant violations: %s"
+       (String.concat "; " (List.map Ir.Diag.to_string errs)));
   let t = Driver.analyze ssa in
-  let loops = Ir.Ssa.loops ssa in
-  let cfg = Ir.Ssa.cfg ssa in
-  let failures = ref [] in
-  let mono : mono_state Ir.Instr.Id.Table.t = Ir.Instr.Id.Table.create 16 in
-  let checked = ref 0 in
-  let on_instr st (instr : Ir.Instr.t) v =
-    let id = instr.Ir.Instr.id in
-    let label = Ir.Cfg.block_of_instr cfg id in
-    match Ir.Loops.innermost loops label with
-    | None -> ()
-    | Some lp ->
-      let h = Ir.Interp.loop_iter st lp in
-      let lookup (a : Sym.atom) =
-        match a with
-        | Sym.Param x -> Some (Bignum.Rat.of_int (params x))
-        | Sym.Def d -> Some (Bignum.Rat.of_int (Ir.Interp.value st (Ir.Instr.Def d)))
-      in
-      let cls = Driver.class_of t id in
-      (match cls with
-       | Ivclass.Unknown -> ()
-       | Ivclass.Monotonic m ->
-         incr checked;
-         let ms =
-           match Ir.Instr.Id.Table.find_opt mono id with
-           | Some ms -> ms
-           | None ->
-             let ms = { last_act = -1; last_v = None } in
-             Ir.Instr.Id.Table.add mono id ms;
-             ms
-         in
-         (* Monotonicity holds within one loop activation. *)
-         let act = Ir.Interp.loop_activation st lp in
-         if act <> ms.last_act then ms.last_v <- None;
-         (match ms.last_v with
-          | Some prev ->
-            let ok =
-              match (m.Ivclass.dir, m.Ivclass.strict) with
-              | Ivclass.Increasing, true -> v > prev
-              | Ivclass.Increasing, false -> v >= prev
-              | Ivclass.Decreasing, true -> v < prev
-              | Ivclass.Decreasing, false -> v <= prev
-            in
-            if not ok then
-              failures :=
-                Printf.sprintf "%s: monotonicity violated at h=%d (%d then %d)"
-                  (Ir.Ssa.primary_name ssa id) h prev v
-                :: !failures
-          | None -> ());
-         ms.last_act <- act;
-         ms.last_v <- Some v
-       | cls -> (
-         let iter_of outer = Some (Ir.Interp.loop_iter st outer) in
-         match Ivclass.eval_at_nest lookup iter_of cls h with
-         | Some predicted ->
-           (* The interpreter computes in native (wrapping) integers while
-              the classifier is exact; past this magnitude geometric
-              sequences have overflowed and the comparison is meaningless
-              (the language leaves overflow unspecified). *)
-           let overflow_bound = Bignum.Rat.of_int (1 lsl 55) in
-           if Bignum.Rat.compare (Bignum.Rat.abs predicted) overflow_bound >= 0 then ()
-           else begin
-             incr checked;
-             if not (Bignum.Rat.equal predicted (Bignum.Rat.of_int v)) then
-               failures :=
-                 Printf.sprintf "%s: h=%d predicted %s, observed %d"
-                   (Ir.Ssa.primary_name ssa id) h
-                   (Bignum.Rat.to_string predicted)
-                   v
-                 :: !failures
-           end
-         | None -> ()))
+  let r =
+    Verify.Oracle.check ~max_diags:max_int ?fuel ?params ?rand ?arrays t
   in
-  let st = Ir.Interp.run ~fuel ~on_instr ~params ~rand ~arrays ssa in
-  ignore st;
-  (!checked, List.rev !failures)
+  (r.Verify.Oracle.checked, List.map Ir.Diag.to_string r.Verify.Oracle.diags)
 
 (* [oracle src] asserts every prediction matched. *)
 let oracle ?fuel ?params ?rand ?arrays src =

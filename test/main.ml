@@ -41,4 +41,5 @@ let () =
       Test_server.suite;
       Test_trace.suite;
       Test_explain.suite;
+      Test_verify.suite;
     ]

@@ -6,7 +6,7 @@ let show title src =
   (match Ir.Ssa.check ssa with
    | [] -> ()
    | errs ->
-     List.iter print_endline errs;
+     List.iter (fun d -> print_endline (Ir.Diag.to_string d)) errs;
      failwith "SSA check failed");
   let t = Analysis.Driver.analyze ssa in
   print_endline (Analysis.Driver.report t)

@@ -86,7 +86,9 @@ let test_check_valid_corpus () =
     (fun src ->
       match Ir.Ssa.check (ssa_of src) with
       | [] -> ()
-      | errs -> Alcotest.failf "invalid SSA for %S: %s" src (String.concat "; " errs))
+      | errs ->
+        Alcotest.failf "invalid SSA for %S: %s" src
+          (String.concat "; " (List.map Ir.Diag.to_string errs)))
     [
       "x = 1";
       "j = n\nL7: loop\n  i = j + c\n  j = i + k\nendloop";
@@ -122,7 +124,9 @@ let prop_ssa_valid =
     (fun p ->
       match Ir.Ssa.check (Ir.Ssa.of_program p) with
       | [] -> true
-      | errs -> QCheck2.Test.fail_reportf "SSA errors: %s" (String.concat "; " errs))
+      | errs ->
+        QCheck2.Test.fail_reportf "SSA errors: %s"
+          (String.concat "; " (List.map Ir.Diag.to_string errs)))
 
 let prop_phi_args_match_preds =
   Helpers.qtest ~count:60 "phi arity equals predecessor count" Gen.gen_program

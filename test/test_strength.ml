@@ -29,7 +29,9 @@ let reduce_and_compare ?(params = fun _ -> 0) src =
   (* The rewritten CFG must still be valid SSA. *)
   (match Ir.Ssa.check ssa with
    | [] -> ()
-   | errs -> Alcotest.failf "SSA broken after reduction: %s" (String.concat "; " errs));
+   | errs ->
+     Alcotest.failf "SSA broken after reduction: %s"
+       (String.concat "; " (List.map Ir.Diag.to_string errs)));
   let after = footprint_of_ssa ~params ssa in
   Alcotest.(check bool) "semantics preserved" true (before = after);
   (reductions, ssa)
@@ -111,7 +113,9 @@ let prop_reduction_preserves_random_programs =
       let _ = SR.reduce t in
       match Ir.Ssa.check ssa with
       | [] -> footprint ssa = before
-      | errs -> QCheck2.Test.fail_reportf "SSA broken: %s" (String.concat ";" errs))
+      | errs ->
+        QCheck2.Test.fail_reportf "SSA broken: %s"
+          (String.concat "; " (List.map Ir.Diag.to_string errs)))
 
 let suite =
   ( "strength-reduction",

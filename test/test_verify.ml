@@ -1,0 +1,257 @@
+(* Checked mode: structural verifiers against injected faults (golden
+   diagnostics), the corpus-clean property over examples/programs, the
+   oracle's iteration depth, random-program structural soundness, the
+   engine's verify-pass caching, and the CHECK serve verb. *)
+
+module Diag = Ir.Diag
+module Structural = Verify.Structural
+module Inject = Verify.Inject
+module Check = Verify.Check
+module Oracle = Verify.Oracle
+module Engine = Service.Engine
+module Server = Service.Server
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Same resolution dance as test_pipeline: dune runtest runs in
+   _build/default/test, a by-hand run in the repo root. *)
+let corpus_dir =
+  List.find Sys.file_exists
+    [
+      Filename.concat (Filename.concat ".." "examples") "programs";
+      Filename.concat "examples" "programs";
+    ]
+
+let corpus () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".iv")
+  |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat corpus_dir f)))
+
+let fig9 () = read_file (Filename.concat corpus_dir "fig9_triangular.iv")
+let stress () = read_file (Filename.concat corpus_dir "oracle_stress.iv")
+
+(* ---------- fault injection: goldens ---------- *)
+
+(* One golden rendered line per fault kind, pinned against the fig9
+   fixture. The exact ids matter: they prove the diagnostics point at
+   the corrupted site, not merely that something failed. *)
+let injection_goldens =
+  [
+    ( Inject.Phi_arity,
+      "error[SSA001] ssa (instr %28): phi %28 in B1 has 1 args but 2 preds" );
+    ( Inject.Dangling_def,
+      "error[SSA005] ssa (instr %6): dangling operand %1010 in B1" );
+    ( Inject.Bad_edge,
+      "error[CFG001] ssa-cfg (edge 0->14): terminator of block 0 targets \
+       missing block 14" );
+    ( Inject.Nondom_use,
+      "error[SSA004] ssa (instr %6): use of %9 in B1 not dominated by its def \
+       in B3" );
+  ]
+
+let test_injected_faults () =
+  let src = fig9 () in
+  List.iter
+    (fun (kind, golden) ->
+      let name = Inject.to_string kind in
+      let prog = Ir.Parser.parse src in
+      let ssa = Ir.Ssa.of_program prog in
+      (match Inject.apply kind ssa with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "%s: injection not applicable: %s" name e);
+      let diags = Structural.check_ir ssa in
+      let code = Inject.expected_code kind in
+      Alcotest.(check bool)
+        (name ^ " reports " ^ code)
+        true
+        (List.exists (fun (d : Diag.t) -> d.Diag.code = code) diags);
+      Alcotest.(check bool)
+        (name ^ " golden line present")
+        true
+        (List.mem golden (List.map Diag.to_string diags));
+      Alcotest.(check bool)
+        (name ^ " is fatal")
+        true
+        (List.exists Diag.is_error diags))
+    injection_goldens
+
+let test_clean_fixture_has_no_findings () =
+  let src = fig9 () in
+  let prog = Ir.Parser.parse src in
+  let lower = Ir.Lower.lower prog in
+  let ssa = Ir.Ssa.of_program prog in
+  Alcotest.(check (list string)) "no diagnostics" []
+    (List.map Diag.to_string (Structural.check_ir ~lower ssa))
+
+(* ---------- the corpus-clean property ---------- *)
+
+let test_corpus_checks_clean () =
+  List.iter
+    (fun (name, src) ->
+      match Check.run ~iters:40 src with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok report ->
+        Alcotest.(check int) (name ^ ": errors") 0 (Check.errors report);
+        Alcotest.(check int) (name ^ ": warnings") 0 (Check.warnings report);
+        Alcotest.(check int) (name ^ ": all three parts ran") 3
+          (List.length report.Check.parts);
+        Alcotest.(check bool) (name ^ ": not vacuous") true
+          (Check.checks report > 0);
+        List.iter
+          (fun (p : Check.part) ->
+            if p.Check.family <> "structural" then
+              Alcotest.(check bool)
+                (name ^ ": " ^ p.Check.family ^ " checked something")
+                true (p.Check.checks > 0))
+          report.Check.parts)
+    (corpus ())
+
+let test_oracle_depth () =
+  (* The acceptance bar: closed forms hold for at least 64 iterations.
+     oracle_stress.iv runs its outer loop 120 times, so the oracle must
+     get at least that deep before fuel runs out. *)
+  let t = Analysis.Driver.analyze_source (stress ()) in
+  let r = Oracle.check ~fuel:200_000 t in
+  Alcotest.(check (list string)) "no failures" []
+    (List.map Diag.to_string r.Oracle.diags);
+  Alcotest.(check bool) "reaches h >= 64" true (r.Oracle.max_h >= 64);
+  Alcotest.(check bool) "several variables" true (r.Oracle.vars >= 4);
+  Alcotest.(check bool) "fuel sufficed" false r.Oracle.out_of_fuel
+
+let prop_random_programs_verify =
+  Helpers.qtest ~count:100 "random programs verify structurally clean"
+    Gen.gen_program (fun p ->
+      let lower = Ir.Lower.lower p in
+      let ssa = Ir.Ssa.of_program p in
+      match
+        List.filter
+          (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info)
+          (Structural.check_ir ~lower ssa)
+      with
+      | [] -> true
+      | d :: _ ->
+        QCheck2.Test.fail_reportf "program:\n%s\nfinding: %s"
+          (Ir.Ast.to_string p) (Diag.to_string d))
+
+(* ---------- rendering ---------- *)
+
+let test_json_rendering_parses () =
+  match Check.run ~iters:10 (fig9 ()) with
+  | Error e -> Alcotest.fail e
+  | Ok report -> (
+    let json = Check.to_json report in
+    match Obs.Json.parse_result json with
+    | Error e -> Alcotest.failf "JSON does not parse: %s\n%s" e json
+    | Ok j ->
+      Alcotest.(check bool) "has errors field" true
+        (Obs.Json.member "errors" j <> None);
+      Alcotest.(check bool) "has parts field" true
+        (Obs.Json.member "parts" j <> None))
+
+(* ---------- the engine: verify passes are cached ---------- *)
+
+let bounded = "i = 0\nT: loop\n  i = i + 1\n  if i > 10 exit\nendloop\n"
+
+let stat e pass =
+  match
+    List.find_opt (fun (p, _, _) -> p = pass) (Engine.pass_stats e)
+  with
+  | Some (_, hits, misses) -> (hits, misses)
+  | None -> Alcotest.failf "pass %s not in pass_stats" pass
+
+let test_engine_caches_verify_parts () =
+  let e = Engine.create () in
+  let r1 = Engine.check e bounded in
+  let report =
+    match r1 with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "clean" 0 (Check.errors report);
+  let p = Engine.pipeline e bounded in
+  List.iter
+    (fun pass ->
+      Alcotest.(check bool)
+        (Analysis.Pipeline.name pass ^ " recorded on the pipeline")
+        true
+        (Analysis.Pipeline.forced p pass))
+    [
+      Analysis.Pipeline.VerifyIr;
+      Analysis.Pipeline.VerifyClass;
+      Analysis.Pipeline.VerifyTrans;
+    ];
+  List.iter
+    (fun pass ->
+      let hits, misses = stat e pass in
+      Alcotest.(check int) (pass ^ " computed once") 1 misses;
+      Alcotest.(check int) (pass ^ " no hits yet") 0 hits)
+    [ "verify_ir"; "verify_class"; "verify_trans" ];
+  let r2 = Engine.check e bounded in
+  Alcotest.(check bool) "second reply identical" true (r1 = r2);
+  List.iter
+    (fun pass ->
+      let hits, misses = stat e pass in
+      Alcotest.(check int) (pass ^ " still computed once") 1 misses;
+      Alcotest.(check int) (pass ^ " served from cache") 1 hits)
+    [ "verify_ir"; "verify_class"; "verify_trans" ]
+
+let test_broken_ir_skips_oracle () =
+  (* Engine.check on a structurally broken program must not interpret
+     it: the report carries only the structural part. Broken IR cannot
+     come from the parser, so go through Check's parts directly. *)
+  let prog = Ir.Parser.parse bounded in
+  let ssa = Ir.Ssa.of_program prog in
+  (match Inject.apply Inject.Bad_edge ssa with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  let part = Check.structural_part ssa in
+  Alcotest.(check bool) "fault found" true
+    (List.exists Diag.is_error part.Check.diags)
+
+(* ---------- the serve verb ---------- *)
+
+let with_temp_program src f =
+  let path = Filename.temp_file "ivtool_verify" ".iv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc src;
+      close_out oc;
+      f path)
+
+let test_check_verb () =
+  with_temp_program bounded (fun path ->
+      let e = Engine.create () in
+      match Server.handle e ("CHECK " ^ path) with
+      | Server.Ok_payload body ->
+        Alcotest.(check bool) "structural section" true
+          (Helpers.contains body "== structural ==");
+        Alcotest.(check bool) "oracle section" true
+          (Helpers.contains body "== oracle ==");
+        Alcotest.(check bool) "transforms section" true
+          (Helpers.contains body "== transforms ==");
+        Alcotest.(check bool) "clean summary" true
+          (Helpers.contains body "check: 0 errors, 0 warnings,")
+      | Server.Err e -> Alcotest.fail e
+      | Server.Bye -> Alcotest.fail "unexpected BYE")
+
+let suite =
+  ( "verify",
+    [
+      Helpers.case "injected faults produce golden diagnostics"
+        test_injected_faults;
+      Helpers.case "clean fixture has no findings"
+        test_clean_fixture_has_no_findings;
+      Helpers.case "examples corpus checks clean" test_corpus_checks_clean;
+      Helpers.case "oracle reaches 64 iterations" test_oracle_depth;
+      prop_random_programs_verify;
+      Helpers.case "JSON rendering parses" test_json_rendering_parses;
+      Helpers.case "engine caches verify parts" test_engine_caches_verify_parts;
+      Helpers.case "broken IR is caught before interpretation"
+        test_broken_ir_skips_oracle;
+      Helpers.case "CHECK serve verb" test_check_verb;
+    ] )
