@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke trace-demo clean
+.PHONY: build test check bench bench-smoke bench-b2 trace-demo clean
 
 build:
 	dune build
@@ -16,16 +16,23 @@ check: build
 bench:
 	dune exec bench/main.exe
 
-# One fast pass over the service batch path (experiment B1 only).
+# One fast pass over the service batch and unit paths (B1 + B2 only).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
+# Full-scale incremental re-analysis experiment (B2 only; writes
+# BENCH_incremental.json — see docs/INCREMENTAL.md).
+bench-b2:
+	dune exec bench/main.exe -- --b2
+
 # The observability tour (docs/OBSERVABILITY.md): traced parallel batch
 # over the example corpus, trace validation, one provenance report.
+# Outputs stay under _build/ so the working tree is never dirtied.
 trace-demo:
+	mkdir -p _build
 	dune exec bin/ivtool.exe -- batch -j 2 --artifacts all --repeat 2 \
-	  --trace trace_demo.json --trace-summary examples/programs/*.iv
-	dune exec bin/ivtool.exe -- trace-check trace_demo.json
+	  --trace _build/trace_demo.json --trace-summary examples/programs/*.iv
+	dune exec bin/ivtool.exe -- trace-check _build/trace_demo.json
 	dune exec bin/ivtool.exe -- explain examples/programs/l14_closed_forms.iv
 
 clean:

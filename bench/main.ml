@@ -693,12 +693,177 @@ let experiment_b1 ~smoke () =
   print_endline "   wrote BENCH_service.json";
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Experiment B2: incremental re-analysis (region-based units)          *)
+(* ------------------------------------------------------------------ *)
+
+(* One program of [n] independent top-level loop nests; edit exactly one
+   nest and re-analyze. The full run pays per-loop classification for
+   every nest; the incremental run reuses the unit cache for the n-1
+   untouched nests and recomputes only the edited one. Both must render
+   byte-identical classify/trip/deps reports. *)
+
+let b2_program ?edited n =
+  String.concat "\n"
+    (List.init n (fun i ->
+         let body =
+           if edited = Some i then Printf.sprintf "s%d - i%d" i i
+           else Printf.sprintf "s%d + i%d" i i
+         in
+         Printf.sprintf
+           "s%d = 0\nN%d: for i%d = 1 to n loop\n  s%d = %s\n  A%d(i%d) = s%d\nendloop"
+           i i i i body i i i))
+  ^ "\n"
+
+let b2_artifacts = [ Service.Engine.Classify; Service.Engine.Trip; Service.Engine.Deps ]
+
+let b2_render engine src =
+  List.map
+    (fun a ->
+      match Service.Engine.render engine a src with
+      | Ok text -> text
+      | Error msg -> failwith ("B2: " ^ msg))
+    b2_artifacts
+
+type b2_run = {
+  b2_mode : string; (* "full" | "incremental" *)
+  b2_seconds : float;
+  b2_unit_hits : int;
+  b2_unit_misses : int;
+}
+
+let b2_unit_stat engine =
+  match
+    List.find_opt (fun (p, _, _) -> p = "unit_classify")
+      (Service.Engine.pass_stats engine)
+  with
+  | Some (_, hits, misses) -> (hits, misses)
+  | None -> (0, 0)
+
+let b2_runs ~nests ~reps =
+  let edited = nests / 2 in
+  let old_src = b2_program nests in
+  let new_src = b2_program ~edited nests in
+  (* Each rep uses a fresh engine so the timed region is never a pure
+     pipeline-cache hit; the incremental rep primes on [old_src] outside
+     the timed region, exactly the serve-mode REANALYZE shape. *)
+  let best f =
+    List.fold_left (fun acc _ -> Float.min acc (f ())) infinity
+      (List.init reps Fun.id)
+  in
+  let stats = ref (0, 0) in
+  let full =
+    best (fun () ->
+        let engine = Service.Engine.create ~capacity:4096 () in
+        let t0 = Unix.gettimeofday () in
+        ignore (b2_render engine new_src);
+        let dt = Unix.gettimeofday () -. t0 in
+        stats := b2_unit_stat engine;
+        dt)
+  in
+  let full_hits, full_misses = !stats in
+  let incremental =
+    best (fun () ->
+        let engine = Service.Engine.create ~capacity:4096 () in
+        ignore (b2_render engine old_src);
+        let h0, m0 = b2_unit_stat engine in
+        let t0 = Unix.gettimeofday () in
+        ignore (b2_render engine new_src);
+        let dt = Unix.gettimeofday () -. t0 in
+        let h1, m1 = b2_unit_stat engine in
+        stats := (h1 - h0, m1 - m0);
+        dt)
+  in
+  let inc_hits, inc_misses = !stats in
+  (* Byte-identity is part of the experiment's claim: check it on every
+     harness run, not only in the test suite. *)
+  let warm = Service.Engine.create ~capacity:4096 () in
+  ignore (b2_render warm old_src);
+  let merged = b2_render warm new_src in
+  let cold = b2_render (Service.Engine.create ~capacity:4096 ()) new_src in
+  if merged <> cold then failwith "B2: incremental reports diverge from cold run";
+  ( [
+      {
+        b2_mode = "full";
+        b2_seconds = full;
+        b2_unit_hits = full_hits;
+        b2_unit_misses = full_misses;
+      };
+      {
+        b2_mode = "incremental";
+        b2_seconds = incremental;
+        b2_unit_hits = inc_hits;
+        b2_unit_misses = inc_misses;
+      };
+    ],
+    old_src )
+
+let b2_json ~nests ~reps runs =
+  let run_json r =
+    Printf.sprintf
+      "    {\"mode\": \"%s\", \"seconds\": %.6f, \"unit_hits\": %d, \"unit_misses\": %d}"
+      r.b2_mode r.b2_seconds r.b2_unit_hits r.b2_unit_misses
+  in
+  let speedup =
+    match runs with
+    | [ f; i ] when i.b2_seconds > 0.0 -> f.b2_seconds /. i.b2_seconds
+    | _ -> Float.nan
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"experiment\": \"B2\",";
+      "  \"description\": \"incremental re-analysis: edit one of N top-level loop nests, reuse per-unit artifacts for the rest\",";
+      Printf.sprintf "  \"nests\": %d," nests;
+      Printf.sprintf "  \"reps\": %d," reps;
+      "  \"artifacts\": [\"classify\", \"trip\", \"deps\"],";
+      "  \"byte_identical\": true,";
+      Printf.sprintf "  \"speedup_full_over_incremental\": %.2f," speedup;
+      "  \"runs\": [";
+      String.concat ",\n" (List.map run_json runs);
+      "  ]";
+      "}";
+      "";
+    ]
+
+let experiment_b2 ~smoke () =
+  print_endline "== Experiment B2: incremental re-analysis (region units) ==";
+  let nests = if smoke then 6 else 24 in
+  let reps = if smoke then 1 else 3 in
+  let runs, _ = b2_runs ~nests ~reps in
+  Printf.printf
+    "   program: %d top-level nests; edit one nest, re-render classify+trip+deps\n"
+    nests;
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12s %8.4fs  unit hits=%d misses=%d\n" r.b2_mode
+        r.b2_seconds r.b2_unit_hits r.b2_unit_misses)
+    runs;
+  (match runs with
+   | [ f; i ] when i.b2_seconds > 0.0 ->
+     Printf.printf "   full/incremental = %.2fx; merged reports byte-identical\n"
+       (f.b2_seconds /. i.b2_seconds)
+   | _ -> ());
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc (b2_json ~nests ~reps runs);
+  close_out oc;
+  print_endline "   wrote BENCH_incremental.json";
+  print_newline ()
+
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let b2_only = Array.exists (( = ) "--b2") Sys.argv in
   if smoke then begin
-    (* `make bench-smoke`: one fast pass over the batch path only. *)
+    (* `make bench-smoke`: one fast pass over the batch and unit paths. *)
     experiment_b1 ~smoke:true ();
+    experiment_b2 ~smoke:true ();
     print_endline "bench: done (smoke)"
+  end
+  else if b2_only then begin
+    (* Full-scale incremental experiment alone (CI runs this per push;
+       the Bechamel timing sweep is too slow for that cadence). *)
+    experiment_b2 ~smoke:false ();
+    print_endline "bench: done (b2)"
   end
   else begin
     print_reproductions ();
@@ -708,6 +873,7 @@ let () =
     print_ablations ();
     print_pass_counts ();
     experiment_b1 ~smoke:false ();
+    experiment_b2 ~smoke:false ();
     run_benchmarks ();
     print_endline "bench: done"
   end

@@ -27,6 +27,8 @@
      ivtool batch FILES...   — analyze a corpus in parallel
      ivtool serve            — persistent line protocol on stdin/stdout
      ivtool passes FILE      — the pass DAG with forced/lazy status
+     ivtool diff OLD NEW     — incremental re-analysis: which analysis
+                               units (loop nests) were reused vs re-run
 
    Exit codes: 0 success; 1 usage error (unknown subcommand, bad flags,
    missing input file); 2 parse or analysis error. All diagnostics are
@@ -357,6 +359,42 @@ let cmd_serve jobs cache_size no_sccp =
   end
   else Service.Server.run engine stdin stdout
 
+(* --- diff: incremental re-analysis of an edited program --- *)
+
+let cmd_diff jobs no_sccp emit trace_file trace_summary stats old_file new_file =
+  let engine = engine_of ~no_sccp () in
+  let old_src = read_file old_file in
+  let new_src = read_file new_file in
+  let with_pool f =
+    if jobs > 1 then begin
+      let pool = Service.Pool.create ~domains:jobs () in
+      Fun.protect
+        ~finally:(fun () -> Service.Pool.shutdown pool)
+        (fun () -> f (Some pool))
+    end
+    else f None
+  in
+  with_pool @@ fun pool ->
+  render_or_fail
+    (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+       (fun () -> Service.Engine.diff ?pool engine old_src new_src));
+  (match emit with
+   | None -> ()
+   | Some path ->
+     (* The incrementally merged reports of NEW, concatenated — CI
+        byte-compares this file against a cold whole-program run. *)
+     let oc = open_out_bin path in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         List.iter
+           (fun a ->
+             match Service.Engine.render ?pool engine a new_src with
+             | Ok text -> output_string oc text
+             | Error msg -> fatal 2 "%s" msg)
+           [ Service.Engine.Classify; Service.Engine.Trip; Service.Engine.Deps ]));
+  if stats then prerr_string (Service.Engine.stats_report engine)
+
 (* --- passes: the pass DAG with forced/lazy status --- *)
 
 let cmd_passes no_sccp force file =
@@ -568,6 +606,38 @@ let serve_cmd =
              (see docs/SERVICE.md).")
     Term.(const cmd_serve $ jobs $ cache_size_flag $ no_sccp_flag)
 
+let diff_cmd =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for re-analyzing changed units in parallel.")
+  in
+  let emit =
+    Arg.(value & opt (some string) None
+         & info [ "emit" ] ~docv:"FILE"
+             ~doc:"Also write NEW's incrementally merged classify+trip+deps \
+                   reports (concatenated) to $(docv) — byte-identical to a \
+                   cold run, by construction.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Dump cache and timing stats to stderr.")
+  in
+  let old_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"The program before the edit.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"The program after the edit.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Analyze OLD, then NEW through the per-unit cache, and report which \
+             analysis units (loop nests) were reused and which re-analyzed, \
+             and why.")
+    Term.(const cmd_diff $ jobs $ no_sccp_flag $ emit $ trace_flag
+          $ trace_summary_flag $ stats $ old_file $ new_file)
+
 let passes_cmd =
   let force =
     Arg.(value & opt (some string) None
@@ -611,6 +681,7 @@ let () =
       batch_cmd;
       serve_cmd;
       passes_cmd;
+      diff_cmd;
     ]
   in
   let exit_code =

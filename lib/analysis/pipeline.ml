@@ -13,6 +13,8 @@ type pass =
   | Ssa
   | Looptree
   | Sccp
+  | Units
+  | Unitclassify
   | Classify
   | Trip
   | Promote
@@ -29,6 +31,8 @@ let all =
     VerifyIr;
     Looptree;
     Sccp;
+    Units;
+    Unitclassify;
     Classify;
     Trip;
     Promote;
@@ -43,6 +47,8 @@ let name = function
   | Ssa -> "ssa"
   | Looptree -> "looptree"
   | Sccp -> "sccp"
+  | Units -> "units"
+  | Unitclassify -> "unit_classify"
   | Classify -> "classify"
   | Trip -> "trip"
   | Promote -> "promote"
@@ -57,6 +63,8 @@ let of_name = function
   | "ssa" -> Some Ssa
   | "looptree" -> Some Looptree
   | "sccp" -> Some Sccp
+  | "units" -> Some Units
+  | "unit_classify" -> Some Unitclassify
   | "classify" -> Some Classify
   | "trip" -> Some Trip
   | "promote" -> Some Promote
@@ -75,6 +83,8 @@ let inputs = function
   | Ssa -> [ Parse ]
   | Looptree -> [ Ssa ]
   | Sccp -> [ Ssa ]
+  | Units -> [ Looptree; Sccp ]
+  | Unitclassify -> [ Units ]
   | Classify -> [ Looptree; Sccp ]
   | Trip -> [ Classify ]
   | Promote -> [ Classify ]
@@ -89,6 +99,8 @@ let description = function
   | Ssa -> "AST -> SSA form (CFG, dominators, loop forest)"
   | Looptree -> "SSA -> loop-nesting forest"
   | Sccp -> "conditional constant propagation"
+  | Units -> "analysis-unit partition: loop nests + straight runs, per-unit digests"
+  | Unitclassify -> "per-unit classification walk through the unit cache (service layer)"
   | Classify -> "per-loop IV classification, trip counts, exit values"
   | Trip -> "trip-count report"
   | Promote -> "multiloop promotion (nested IV tuples)"
@@ -96,6 +108,15 @@ let description = function
   | VerifyIr -> "structural IR verification: CFG, SSA, looptree (service layer)"
   | VerifyClass -> "classification oracle vs the interpreter (service layer)"
   | VerifyTrans -> "transform validation, structural + differential (service layer)"
+
+(* Passes whose results the pipeline cannot compute itself: the engine
+   forces them (dependence testing lives in lib/dependence, checked mode
+   in lib/verify, and the unit walk needs the engine's shared artifact
+   cache) and records completion with [note]. *)
+let engine_forced = function
+  | Depgraph | VerifyIr | VerifyClass | VerifyTrans | Unitclassify -> true
+  | Parse | Lower | Ssa | Looptree | Sccp | Units | Classify | Trip | Promote ->
+    false
 
 (* -- options -- *)
 
@@ -179,59 +200,72 @@ let compute_exit_values (t : analysis) (r : loop_result) =
 
 (* -- the inner-to-outer classification walk (§5.2–5.3) -- *)
 
+let outer_const_of sccp =
+  match sccp with
+  | Some r -> fun d -> Option.map Sym.of_int (Sccp.const_of r d)
+  | None -> fun _ -> None
+
+let empty_analysis ?sccp (ssa : Ir.Ssa.t) =
+  {
+    ssa;
+    sccp;
+    by_loop = Array.make (Ir.Loops.num_loops (Ir.Ssa.loops ssa)) None;
+    exit_values = Ir.Instr.Id.Table.create 64;
+  }
+
+(* Classify one loop (its SCRs, trip count and exit values) into [t].
+   Inner loops of the same nest must already be classified — nothing
+   else: exit values never cross a nest boundary (the [inner_exit]
+   lookup is guarded by loop membership in [Classify.class_of_def]), so
+   walking one nest at a time is equivalent to the whole-program walk. *)
+let classify_one (t : analysis) ~outer_const ~inner_exit (lp : Ir.Loops.loop) =
+  Obs.Trace.with_span ~cat:"pipeline"
+    ~attrs:
+      [ ("loop", Obs.Trace.Str lp.Ir.Loops.name);
+        ("depth", Obs.Trace.Int lp.Ir.Loops.depth) ]
+    "pipeline.classify_loop"
+  @@ fun () ->
+  let table, graph =
+    Classify.classify_loop ~outer_const ~inner_exit t.ssa lp
+  in
+  let ctx =
+    { Classify.ssa = t.ssa; loop = lp; graph; table; outer_const; inner_exit }
+  in
+  let trip =
+    Obs.Trace.with_span ~cat:"pipeline"
+      ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
+      "pipeline.trip_count"
+      (fun () -> Trip_count.compute ctx)
+  in
+  let r = { loop = lp; table; graph; trip } in
+  t.by_loop.(lp.Ir.Loops.id) <- Some r;
+  Obs.Trace.with_span ~cat:"pipeline"
+    ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
+    "pipeline.exit_values"
+    (fun () -> compute_exit_values t r)
+
 let loopwalk ?sccp (ssa : Ir.Ssa.t) : analysis =
-  let outer_const =
-    match sccp with
-    | Some r -> fun d -> Option.map Sym.of_int (Sccp.const_of r d)
-    | None -> fun _ -> None
-  in
-  let loops = Ir.Ssa.loops ssa in
-  let t =
-    {
-      ssa;
-      sccp;
-      by_loop = Array.make (Ir.Loops.num_loops loops) None;
-      exit_values = Ir.Instr.Id.Table.create 64;
-    }
-  in
+  let outer_const = outer_const_of sccp in
+  let t = empty_analysis ?sccp ssa in
   let inner_exit d = Ir.Instr.Id.Table.find_opt t.exit_values d in
   List.iter
-    (fun (lp : Ir.Loops.loop) ->
-      Obs.Trace.with_span ~cat:"pipeline"
-        ~attrs:
-          [ ("loop", Obs.Trace.Str lp.Ir.Loops.name);
-            ("depth", Obs.Trace.Int lp.Ir.Loops.depth) ]
-        "pipeline.classify_loop"
-      @@ fun () ->
-      let table, graph = Classify.classify_loop ~outer_const ~inner_exit ssa lp in
-      let ctx =
-        { Classify.ssa; loop = lp; graph; table; outer_const; inner_exit }
-      in
-      let trip =
-        Obs.Trace.with_span ~cat:"pipeline"
-          ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
-          "pipeline.trip_count"
-          (fun () -> Trip_count.compute ctx)
-      in
-      let r = { loop = lp; table; graph; trip } in
-      t.by_loop.(lp.Ir.Loops.id) <- Some r;
-      Obs.Trace.with_span ~cat:"pipeline"
-        ~attrs:[ ("loop", Obs.Trace.Str lp.Ir.Loops.name) ]
-        "pipeline.exit_values"
-        (fun () -> compute_exit_values t r))
-    (Ir.Loops.postorder loops);
+    (fun lp -> classify_one t ~outer_const ~inner_exit lp)
+    (Ir.Loops.postorder (Ir.Ssa.loops ssa));
   t
 
 (* -- multiloop promotion (§5.3 and Figs 8-9) -- *)
 
-let promote (t : analysis) =
+(* Promotion relates a loop only to its ancestors in the same nest, so
+   promoting one nest's roots at a time is equivalent to the whole
+   forest ([promote] below). *)
+let promote_roots (t : analysis) roots =
   let loops = Ir.Ssa.loops t.ssa in
   (* Outer loops first, so inner promotions can nest through them. *)
   let rec preorder id acc =
     let lp = Ir.Loops.loop loops id in
     List.fold_left (fun acc c -> preorder c acc) (id :: acc) lp.Ir.Loops.loop_children
   in
-  let order = List.rev (List.fold_left (fun acc r -> preorder r acc) [] (Ir.Loops.roots loops)) in
+  let order = List.rev (List.fold_left (fun acc r -> preorder r acc) [] roots) in
   List.iter
     (fun id ->
       let lp = Ir.Loops.loop loops id in
@@ -274,6 +308,9 @@ let promote (t : analysis) =
             entries)
       | _ -> ())
     order
+
+let promote (t : analysis) =
+  promote_roots t (Ir.Loops.roots (Ir.Ssa.loops t.ssa))
 
 (* -- the whole chain (the former Driver.analyze) -- *)
 
@@ -356,6 +393,197 @@ let trip_report_of (t : analysis) =
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
+(* -- analysis units (incremental re-analysis) -- *)
+
+type unit_info = {
+  region : Ir.Region.unit_;
+  uroots : int list; (* root loop ids of the unit's nests, program order *)
+  uloops : int list; (* every loop id of the unit, inner-to-outer *)
+  udigest : Hash.Fnv.t; (* exact key over the unit's slice of the program *)
+}
+
+type unit_artifact = {
+  ua_results : loop_result list; (* promoted; aligned with [uloops] *)
+  ua_exits : (Ir.Instr.Id.t * Sym.t) list; (* the unit's exit values *)
+}
+
+type unit_outcome = {
+  u_index : int; (* Region unit index *)
+  u_loops : string list; (* the unit's outermost loop names *)
+  u_hit : bool; (* the artifact came from the unit cache *)
+}
+
+(* Loop ids are assigned in program order of headers, so the k-th nest
+   unit's outermost loops are the next [outer_loops] roots of the
+   forest. [map_units] pairs them up; a count mismatch (e.g. a loop the
+   CFG dropped as unreachable) returns None and callers fall back to
+   the whole-program walk. *)
+let map_units loops (regions : Ir.Region.unit_ list) =
+  let rec take n xs =
+    if n = 0 then Some ([], xs)
+    else
+      match xs with
+      | [] -> None
+      | x :: tl ->
+        Option.map (fun (taken, rest) -> (x :: taken, rest)) (take (n - 1) tl)
+  in
+  let rec go regions roots acc =
+    match regions with
+    | [] -> if roots = [] then Some (List.rev acc) else None
+    | (r : Ir.Region.unit_) :: tl -> (
+      match take r.Ir.Region.outer_loops roots with
+      | None -> None
+      | Some (mine, rest) -> go tl rest ((r, mine) :: acc))
+  in
+  go regions (Ir.Loops.roots loops) []
+
+module Int_set = Set.Make (Int)
+
+(* All loops of the given nests, inner-to-outer (the whole-program
+   postorder restricted to the nests' descendants). *)
+let unit_loop_ids loops uroots =
+  let rec add acc id =
+    let lp = Ir.Loops.loop loops id in
+    List.fold_left add (Int_set.add id acc) lp.Ir.Loops.loop_children
+  in
+  let mine = List.fold_left add Int_set.empty uroots in
+  List.filter_map
+    (fun (lp : Ir.Loops.loop) ->
+      if Int_set.mem lp.Ir.Loops.id mine then Some lp.Ir.Loops.id else None)
+    (Ir.Loops.postorder loops)
+
+let feed_value d (v : Ir.Instr.value) =
+  match v with
+  | Ir.Instr.Const n -> Hash.Fnv.feed_int (Hash.Fnv.feed_string d "c") n
+  | Ir.Instr.Def id -> Hash.Fnv.feed_int (Hash.Fnv.feed_string d "d") id
+  | Ir.Instr.Param x ->
+    Hash.Fnv.feed_string (Hash.Fnv.feed_string d "p") (Ir.Ident.name x)
+
+let feed_op d (op : Ir.Instr.op) =
+  let d = Hash.Fnv.feed_string d (Ir.Instr.op_name op) in
+  match op with
+  | Ir.Instr.Load x | Ir.Instr.Store x | Ir.Instr.Aload x | Ir.Instr.Astore x
+    ->
+    Hash.Fnv.feed_string d (Ir.Ident.name x)
+  | Ir.Instr.Binop _ | Ir.Instr.Relop _ | Ir.Instr.Neg | Ir.Instr.Phi
+  | Ir.Instr.Rand ->
+    d
+
+let feed_term d (term : Ir.Cfg.terminator) =
+  match term with
+  | Ir.Cfg.Jump l -> Hash.Fnv.feed_int (Hash.Fnv.feed_string d "jmp") l
+  | Ir.Cfg.Branch (v, a, b) ->
+    Hash.Fnv.feed_int
+      (Hash.Fnv.feed_int (feed_value (Hash.Fnv.feed_string d "br") v) a)
+      b
+  | Ir.Cfg.Halt -> Hash.Fnv.feed_string d "halt"
+
+(* The unit key: an exact digest of everything the per-unit walk can
+   observe. The canonical source slice and options; the unit's loops
+   (ids, headers, forest shape); every in-loop instruction with its id,
+   operation and operands; block terminators (in-nest control flow
+   determines dominance and exit structure); and, for every def the
+   unit defines or reads, its SSA primary name and SCCP constant fact
+   (this covers defs flowing in from outside the unit, such as
+   initializers). A key hit therefore guarantees the cached
+   instruction-id-keyed tables are valid verbatim in the new program. *)
+let unit_digest ~use_sccp ssa sccp (region : Ir.Region.unit_) uloops =
+  let loops = Ir.Ssa.loops ssa in
+  let cfg = Ir.Ssa.cfg ssa in
+  let d = ref (Hash.Fnv.of_strings [ "unit"; Ir.Region.source_slice region ]) in
+  let feed f x = d := f !d x in
+  d := Hash.Fnv.feed_bool !d use_sccp;
+  let mentioned = ref Ir.Instr.Id.Set.empty in
+  let mention id = mentioned := Ir.Instr.Id.Set.add id !mentioned in
+  let blocks = ref Ir.Label.Set.empty in
+  List.iter
+    (fun lid ->
+      let lp = Ir.Loops.loop loops lid in
+      feed Hash.Fnv.feed_int lp.Ir.Loops.id;
+      feed Hash.Fnv.feed_string lp.Ir.Loops.name;
+      feed Hash.Fnv.feed_int lp.Ir.Loops.header;
+      feed Hash.Fnv.feed_int lp.Ir.Loops.depth;
+      feed Hash.Fnv.feed_int (Option.value ~default:(-1) lp.Ir.Loops.parent);
+      List.iter (feed Hash.Fnv.feed_int) lp.Ir.Loops.loop_children;
+      List.iter (feed Hash.Fnv.feed_int) lp.Ir.Loops.latches;
+      blocks := Ir.Label.Set.union !blocks lp.Ir.Loops.blocks)
+    uloops;
+  Ir.Label.Set.iter
+    (fun label ->
+      let b = Ir.Cfg.block cfg label in
+      feed Hash.Fnv.feed_int label;
+      (match b.Ir.Cfg.loop_name with
+       | Some n -> feed Hash.Fnv.feed_string n
+       | None -> ());
+      List.iter
+        (fun (instr : Ir.Instr.t) ->
+          mention instr.Ir.Instr.id;
+          feed Hash.Fnv.feed_int instr.Ir.Instr.id;
+          d := feed_op !d instr.Ir.Instr.op;
+          Array.iter
+            (fun v ->
+              (match v with Ir.Instr.Def id -> mention id | _ -> ());
+              d := feed_value !d v)
+            instr.Ir.Instr.args)
+        b.Ir.Cfg.instrs;
+      (match b.Ir.Cfg.term with
+       | Ir.Cfg.Branch (Ir.Instr.Def id, _, _) -> mention id
+       | _ -> ());
+      d := feed_term !d b.Ir.Cfg.term)
+    !blocks;
+  Ir.Instr.Id.Set.iter
+    (fun id ->
+      feed Hash.Fnv.feed_int id;
+      feed Hash.Fnv.feed_string (Ir.Ssa.primary_name ssa id);
+      feed Hash.Fnv.feed_int
+        (match sccp with
+         | Some r -> Option.value ~default:min_int (Sccp.const_of r id)
+         | None -> min_int))
+    !mentioned;
+  !d
+
+(* Analyze one unit in isolation: classify its loops inner-to-outer,
+   then promote within its nests, exactly as the whole-program walk
+   would (see [classify_one] and [promote_roots] for why the
+   restriction is equivalence-preserving). Promotion happens here,
+   before the artifact reaches the shared cache: a cached table must
+   never be mutated again. *)
+let analyze_unit ?sccp (ssa : Ir.Ssa.t) (info : unit_info) : unit_artifact =
+  Obs.Trace.with_span ~cat:"pipeline"
+    ~attrs:[ ("unit", Obs.Trace.Int info.region.Ir.Region.index) ]
+    "pipeline.unit"
+  @@ fun () ->
+  let t = empty_analysis ?sccp ssa in
+  let outer_const = outer_const_of sccp in
+  let inner_exit d = Ir.Instr.Id.Table.find_opt t.exit_values d in
+  let loops = Ir.Ssa.loops ssa in
+  List.iter
+    (fun id -> classify_one t ~outer_const ~inner_exit (Ir.Loops.loop loops id))
+    info.uloops;
+  promote_roots t info.uroots;
+  {
+    ua_results = List.filter_map (fun id -> t.by_loop.(id)) info.uloops;
+    ua_exits =
+      Ir.Instr.Id.Table.fold (fun d s acc -> (d, s) :: acc) t.exit_values [];
+  }
+
+(* Reassemble the whole-program analysis from per-unit artifacts. The
+   report renderers and the dependence pass run on the merged record
+   unchanged, so incremental output is byte-identical to a cold run by
+   construction. *)
+let merge_units ?sccp ssa (artifacts : unit_artifact list) : analysis =
+  let t = empty_analysis ?sccp ssa in
+  List.iter
+    (fun ua ->
+      List.iter
+        (fun r -> t.by_loop.(r.loop.Ir.Loops.id) <- Some r)
+        ua.ua_results;
+      List.iter
+        (fun (d, s) -> Ir.Instr.Id.Table.replace t.exit_values d s)
+        ua.ua_exits)
+    artifacts;
+  t
+
 (* -- the lazy per-source instance -- *)
 
 type t = {
@@ -373,6 +601,7 @@ type t = {
   mutable v_ssa : (Ir.Ssa.t, string) result option;
   mutable v_looptree : (Ir.Loops.t, string) result option;
   mutable v_sccp : (Sccp.result option, string) result option;
+  mutable v_units : (unit_info list option, string) result option;
   mutable v_classify : (analysis, string) result option;
   mutable v_trip : (string, string) result option;
   mutable v_promote : (string, string) result option; (* rendered report *)
@@ -390,6 +619,7 @@ let create ?(options = default_options) src =
     v_ssa = None;
     v_looptree = None;
     v_sccp = None;
+    v_units = None;
     v_classify = None;
     v_trip = None;
     v_promote = None;
@@ -503,6 +733,47 @@ let ensure_sccp t =
     t.v_sccp <- Some v;
     v
 
+let ensure_units t =
+  match t.v_units with
+  | Some v -> v
+  | None ->
+    let v =
+      match
+        (ensure_parse t, ensure_looptree t, ensure_sccp t, ensure_ssa t)
+      with
+      | Ok prog, Ok loops, Ok sccp, Ok ssa ->
+        staged Units (fun () ->
+            match map_units loops (Ir.Region.partition prog) with
+            | None ->
+              set_digest t Units "units:unmapped";
+              Ok None
+            | Some mapped ->
+              let infos =
+                List.map
+                  (fun ((region : Ir.Region.unit_), uroots) ->
+                    let uloops = unit_loop_ids loops uroots in
+                    {
+                      region;
+                      uroots;
+                      uloops;
+                      udigest =
+                        unit_digest ~use_sccp:t.opts.use_sccp ssa sccp region
+                          uloops;
+                    })
+                  mapped
+              in
+              Hashtbl.replace t.digests Units
+                (Hash.Fnv.of_strings
+                   ("units"
+                   :: List.map (fun i -> Hash.Fnv.to_hex i.udigest) infos));
+              Ok (Some infos))
+      | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+        ->
+        Error e
+    in
+    t.v_units <- Some v;
+    v
+
 let ensure_classify t =
   match t.v_classify with
   | Some v -> v
@@ -582,6 +853,102 @@ let promoted t =
         | _ -> assert false))
 
 let report t = locked t (fun () -> ensure_promote t)
+let units t = locked t (fun () -> ensure_units t)
+
+(* The unit-granular classification walk (the Unitclassify pass). The
+   engine drives it on a Classify miss: [lookup]/[store] are the shared
+   unit-artifact cache, [pool_run] optionally fans the missing units out
+   across domains. On success the pipeline holds the merged analysis
+   with Classify *and* Promote satisfied (unit artifacts are promoted
+   before caching — see [analyze_unit]), and the outcome list reports
+   one hit/miss per nest unit. Falls back to the whole-program walk
+   when no unit mapping exists. *)
+let classify_with_units ?pool_run ~lookup ~store t =
+  locked t @@ fun () ->
+  match t.v_classify with
+  | Some (Error e) -> Error e
+  | Some (Ok _) -> Ok []
+  | None -> (
+    match ensure_units t with
+    | Error e -> Error e
+    | Ok None -> (
+      match ensure_promote t with
+      | Error e -> Error e
+      | Ok _ ->
+        Hashtbl.replace t.digests Unitclassify
+          (Hash.Fnv.of_strings [ "unit_classify:fallback" ]);
+        Ok [])
+    | Ok (Some infos) -> (
+      match (ensure_sccp t, ensure_ssa t) with
+      | Ok sccp, Ok ssa ->
+        staged Unitclassify (fun () ->
+            let loops = Ir.Ssa.loops ssa in
+            let probed =
+              List.filter_map
+                (fun i ->
+                  if i.uroots = [] then None else Some (i, lookup i.udigest))
+                infos
+            in
+            let misses =
+              List.filter_map
+                (fun (i, probe) -> if probe = None then Some i else None)
+                probed
+            in
+            (* Lazily built per-SSA state (dominators, the instruction
+               index) must exist before a parallel walk can share it. *)
+            if misses <> [] then begin
+              ignore (Ir.Ssa.dom ssa);
+              ignore (Ir.Cfg.find_instr_opt (Ir.Ssa.cfg ssa) 0)
+            end;
+            let computed =
+              let thunks =
+                Array.of_list
+                  (List.map (fun i () -> analyze_unit ?sccp ssa i) misses)
+              in
+              match pool_run with
+              | Some run when Array.length thunks > 1 -> run thunks
+              | _ -> Array.map (fun f -> f ()) thunks
+            in
+            let results =
+              let next = ref 0 in
+              List.map
+                (fun (i, probe) ->
+                  match probe with
+                  | Some a -> (i, a, true)
+                  | None ->
+                    let a = computed.(!next) in
+                    incr next;
+                    store i.udigest a;
+                    (i, a, false))
+                probed
+            in
+            let merged =
+              merge_units ?sccp ssa (List.map (fun (_, a, _) -> a) results)
+            in
+            t.v_classify <- Some (Ok merged);
+            let rendered = report_of merged in
+            set_digest t Classify (rendered ^ "\x00" ^ trip_report_of merged);
+            t.v_promote <- Some (Ok rendered);
+            set_digest t Promote rendered;
+            Hashtbl.replace t.digests Unitclassify
+              (Hash.Fnv.of_strings
+                 ("unit_classify"
+                 :: List.map
+                      (fun (i, _, _) -> Hash.Fnv.to_hex i.udigest)
+                      results));
+            Ok
+              (List.map
+                 (fun (i, _, hit) ->
+                   {
+                     u_index = i.region.Ir.Region.index;
+                     u_loops =
+                       List.map
+                         (fun id -> (Ir.Loops.loop loops id).Ir.Loops.name)
+                         i.uroots;
+                     u_hit = hit;
+                   })
+                 results))
+      | Error e, _ | _, Error e -> Error e))
 
 let discard : _ -> (unit, string) result = function
   | Ok _ -> Ok ()
@@ -595,11 +962,12 @@ let force t pass =
       | Ssa -> discard (ensure_ssa t)
       | Looptree -> discard (ensure_looptree t)
       | Sccp -> discard (ensure_sccp t)
+      | Units -> discard (ensure_units t)
       | Classify -> discard (ensure_classify t)
       | Trip -> discard (ensure_trip t)
       | Promote -> discard (ensure_promote t)
       | Depgraph -> Error "pass depgraph is forced by the service layer"
-      | VerifyIr | VerifyClass | VerifyTrans ->
+      | Unitclassify | VerifyIr | VerifyClass | VerifyTrans ->
         Error ("pass " ^ name pass ^ " is forced by the service layer"))
 
 let forced t pass =
@@ -610,10 +978,11 @@ let forced t pass =
       | Ssa -> Option.is_some t.v_ssa
       | Looptree -> Option.is_some t.v_looptree
       | Sccp -> Option.is_some t.v_sccp
+      | Units -> Option.is_some t.v_units
       | Classify -> Option.is_some t.v_classify
       | Trip -> Option.is_some t.v_trip
       | Promote -> Option.is_some t.v_promote
-      | (Depgraph | VerifyIr | VerifyClass | VerifyTrans) as p ->
+      | (Depgraph | Unitclassify | VerifyIr | VerifyClass | VerifyTrans) as p ->
         Hashtbl.mem t.digests p)
 
 let digest t pass = locked t (fun () -> Hashtbl.find_opt t.digests pass)

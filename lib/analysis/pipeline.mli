@@ -36,6 +36,14 @@ type pass =
   | Ssa  (** AST → SSA form (CFG, dominators, loop forest inside) *)
   | Looptree  (** SSA → the loop-nesting forest *)
   | Sccp  (** SSA → conditional constant propagation (per options) *)
+  | Units
+      (** the analysis-unit partition: top-level loop nests plus
+          residual straight-line runs ({!Ir.Region}), each with an
+          exact per-unit digest — the incremental cache key *)
+  | Unitclassify
+      (** the unit-granular classification walk — forced by the service
+          layer, which owns the shared unit-artifact cache
+          ({!classify_with_units}) *)
   | Classify
       (** the inner-to-outer walk: per-loop classification tables,
           trip counts and exit values (§5.2–5.3) *)
@@ -66,6 +74,12 @@ val of_name : string -> pass option
 val inputs : pass -> pass list
 
 val description : pass -> string
+
+(** Passes the pipeline cannot compute by itself — the service layer
+    forces them and records completion with {!note}: [Depgraph] (lives
+    in [lib/dependence]), the three verify passes ([lib/verify]) and
+    [Unitclassify] (needs the engine's shared unit-artifact cache). *)
+val engine_forced : pass -> bool
 
 (* -- options -- *)
 
@@ -105,6 +119,51 @@ val promote : analysis -> unit
     {!loopwalk}, {!promote} — under the same trace spans the monolithic
     driver emitted. [Driver.analyze] delegates here. *)
 val run : ?use_sccp:bool -> Ir.Ssa.t -> analysis
+
+(* -- analysis units (incremental re-analysis) -- *)
+
+(** One analysis unit, mapped onto the loop forest. Nest units carry
+    their root loop ids ([uroots], program order) and every descendant
+    loop inner-to-outer ([uloops]); straight-line units have both
+    empty. [udigest] is an exact digest of everything the per-unit walk
+    can observe — the unit's canonical source slice, options, loop
+    forest shape, in-loop instructions and terminators (with ids), and
+    the SSA name + SCCP constant fact of every def the unit defines or
+    reads — so a digest hit guarantees a cached artifact's
+    instruction-id-keyed tables are valid verbatim. *)
+type unit_info = {
+  region : Ir.Region.unit_;
+  uroots : int list;
+  uloops : int list;
+  udigest : Hash.Fnv.t;
+}
+
+(** The cached per-unit result: promoted per-loop classification
+    results (aligned with [uloops]) and the unit's exit values.
+    Artifacts are shared across pipeline instances and domains — never
+    mutated after creation. *)
+type unit_artifact = {
+  ua_results : loop_result list;
+  ua_exits : (Ir.Instr.Id.t * Sym.t) list;
+}
+
+(** What happened to one nest unit during {!classify_with_units}. *)
+type unit_outcome = {
+  u_index : int;  (** {!Ir.Region.unit_} index *)
+  u_loops : string list;  (** the unit's outermost loop names *)
+  u_hit : bool;  (** the artifact came from the unit cache *)
+}
+
+(** [analyze_unit ?sccp ssa info] classifies and promotes one unit in
+    isolation — equivalent to the unit's slice of the whole-program
+    walk (exit values never cross a nest boundary, promotion relates
+    only loops of one nest). *)
+val analyze_unit : ?sccp:Sccp.result -> Ir.Ssa.t -> unit_info -> unit_artifact
+
+(** [merge_units ?sccp ssa artifacts] reassembles the whole-program
+    analysis; renderers and the dependence pass run on it unchanged, so
+    incremental reports are byte-identical to a cold run. *)
+val merge_units : ?sccp:Sccp.result -> Ir.Ssa.t -> unit_artifact list -> analysis
 
 (* -- report renderers (shared by Driver and the service engine) -- *)
 
@@ -154,6 +213,27 @@ val promoted : t -> (analysis, string) result
 
 (** The rendered classification report (forces through [Promote]). *)
 val report : t -> (string, string) result
+
+(** The analysis-unit partition with per-unit digests ([Ok None] when
+    the syntactic partition could not be mapped onto the loop forest —
+    callers fall back to the whole-program walk). *)
+val units : t -> (unit_info list option, string) result
+
+(** [classify_with_units ?pool_run ~lookup ~store t] satisfies
+    [Classify] {e and} [Promote] through the unit layer: probe [lookup]
+    with each nest unit's digest, run {!analyze_unit} for the misses
+    (fanned out through [pool_run] when given and more than one unit
+    missed), [store] the fresh artifacts, and install the merged
+    analysis. Returns one {!unit_outcome} per nest unit (empty when the
+    partition was unmapped and the whole-program walk ran instead, or
+    when [Classify] was already forced). Driven by the service engine,
+    which owns the shared unit-artifact cache. *)
+val classify_with_units :
+  ?pool_run:((unit -> unit_artifact) array -> unit_artifact array) ->
+  lookup:(Hash.Fnv.t -> unit_artifact option) ->
+  store:(Hash.Fnv.t -> unit_artifact -> unit) ->
+  t ->
+  (unit_outcome list, string) result
 
 (** [force t pass] forces one pass generically. [Depgraph] cannot be
     forced here (it lives above this library) and returns [Error]. *)

@@ -23,6 +23,7 @@ type ctx = {
   cfg : Cfg.t;
   mutable current : Label.t option; (* None when the block was terminated *)
   mutable exits : Label.t list; (* innermost-first loop exit targets *)
+  mutable limits : int; (* 'for'-loop bound temps minted so far *)
 }
 
 let emit ctx op args =
@@ -65,12 +66,12 @@ let terminate ctx term =
 let start_block ctx label = ctx.current <- Some label
 
 (* Fresh compiler temps for 'for'-loop bounds; '$' cannot appear in source
-   identifiers so there is no capture. *)
-let limit_temp =
-  let counter = ref 0 in
-  fun name ->
-    incr counter;
-    Ident.of_string (Printf.sprintf "%s$limit%d" name !counter)
+   identifiers so there is no capture. The counter lives in the lowering
+   context: two lowerings of the same program mint identical names, so
+   reports are reproducible however many times a process re-lowers. *)
+let limit_temp ctx name =
+  ctx.limits <- ctx.limits + 1;
+  Ident.of_string (Printf.sprintf "%s$limit%d" name ctx.limits)
 
 let rec lower_stmt ctx (s : Ast.stmt) =
   match s with
@@ -116,7 +117,7 @@ let rec lower_stmt ctx (s : Ast.stmt) =
   | Ast.For { name; var; lo; hi; step; body } ->
     let vlo = lower_expr ctx lo in
     ignore (emit ctx (Instr.Store var) [| vlo |]);
-    let limit = limit_temp name in
+    let limit = limit_temp ctx name in
     let vhi = lower_expr ctx hi in
     ignore (emit ctx (Instr.Store limit) [| vhi |]);
     let exit_op = if step > 0 then Ops.Gt else Ops.Lt in
@@ -132,7 +133,7 @@ and lower_stmts ctx stmts = List.iter (lower_stmt ctx) stmts
 (* [lower program] builds the CFG for a whole program. *)
 let lower (p : Ast.program) : Cfg.t =
   let cfg = Cfg.create () in
-  let ctx = { cfg; current = Some (Cfg.entry cfg); exits = [] } in
+  let ctx = { cfg; current = Some (Cfg.entry cfg); exits = []; limits = 0 } in
   lower_stmts ctx p.Ast.stmts;
   terminate ctx Cfg.Halt;
   cfg

@@ -3,15 +3,15 @@ type item = { name : string; source : string }
 let ensure_nl s =
   if s = "" || s.[String.length s - 1] = '\n' then s else s ^ "\n"
 
-let report engine ~artifacts item =
+let report ?pool engine ~artifacts item =
   match artifacts with
   | [] -> invalid_arg "Batch.report: no artifacts requested"
-  | [ a ] -> Result.map ensure_nl (Engine.render engine a item.source)
+  | [ a ] -> Result.map ensure_nl (Engine.render ?pool engine a item.source)
   | artifacts ->
     let rec go buf = function
       | [] -> Ok (Buffer.contents buf)
       | a :: rest -> (
-        match Engine.render engine a item.source with
+        match Engine.render ?pool engine a item.source with
         | Error msg -> Error msg
         | Ok text ->
           Buffer.add_string buf
@@ -35,6 +35,27 @@ let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
     | None -> Pool.map ?timeout_s ~queue_depth ~domains f tasks
   in
   let pool_size = match pool with Some p -> Pool.size p | None -> domains in
+  (* A single item cannot use several workers at file granularity; hand
+     the workers to the engine instead, so the per-unit classification
+     walk fans out across them (units, not files, are the scheduled
+     tasks). Coordinator-only: timeouts stay with the fan-out path. *)
+  let one_item_pass item =
+    Obs.Trace.with_span ~cat:"batch"
+      ~attrs:[ ("file", Obs.Trace.Str item.name) ]
+      "batch.item"
+    @@ fun () ->
+    let use pl = report ?pool:pl engine ~artifacts item in
+    match pool with
+    | Some _ -> use pool
+    | None ->
+      if domains <= 1 then use None
+      else begin
+        let pl = Pool.create ~domains () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pl)
+          (fun () -> use (Some pl))
+      end
+  in
   let one_pass p =
     Metrics.incr passes_counter;
     Metrics.incr ~by:(Array.length arr) items_counter;
@@ -45,13 +66,19 @@ let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
           ("domains", Obs.Trace.Int pool_size) ]
       "batch.pass"
       (fun () ->
-        fan_out ~queue_depth:(Metrics.set_gauge depth)
-          (fun item ->
-            Obs.Trace.with_span ~cat:"batch"
-              ~attrs:[ ("file", Obs.Trace.Str item.name) ]
-              "batch.item"
-              (fun () -> report engine ~artifacts item))
-          arr)
+        if Array.length arr = 1 && timeout_s = None then
+          [|
+            (try Pool.Done (one_item_pass arr.(0))
+             with e -> Pool.Failed (Printexc.to_string e));
+          |]
+        else
+          fan_out ~queue_depth:(Metrics.set_gauge depth)
+            (fun item ->
+              Obs.Trace.with_span ~cat:"batch"
+                ~attrs:[ ("file", Obs.Trace.Str item.name) ]
+                "batch.item"
+                (fun () -> report engine ~artifacts item))
+            arr)
   in
   let total = max 1 passes in
   let rec go n last = if n <= 0 then last else go (n - 1) (one_pass (total - n + 1)) in

@@ -9,9 +9,15 @@ type item = { name : string; source : string }
 (** [report engine ~artifacts item] renders the requested artifacts for
     one item: a single artifact is returned bare; several are
     concatenated under [-- classify --]-style headers. The first
-    analysis error wins. *)
+    analysis error wins. [pool] is lent to the engine for unit-level
+    fan-out — coordinator contexts only, never from inside a pool
+    task. *)
 val report :
-  Engine.t -> artifacts:Engine.artifact list -> item -> (string, string) result
+  ?pool:Pool.pool ->
+  Engine.t ->
+  artifacts:Engine.artifact list ->
+  item ->
+  (string, string) result
 
 (** [run ~domains ~engine ~artifacts items] analyzes every item and
     returns per-item reports in input order. [passes] (default 1)
@@ -23,7 +29,12 @@ val report :
     With [pool], every pass fans out over the resident workers of that
     {!Pool.pool} — no per-pass [Domain.spawn] — and [domains] is
     ignored. Without it, each pass spawns (and joins) its own workers
-    as before. *)
+    as before.
+
+    A single-item batch (with no [timeout_s]) runs on the calling
+    domain and lends the workers to the engine instead, so the
+    per-unit classification walk fans out — analysis units, not files,
+    become the scheduled tasks. *)
 val run :
   ?timeout_s:float ->
   ?passes:int ->

@@ -30,12 +30,14 @@ let artifact_of_string = function
   | "check" -> Some Check
   | _ -> None
 
-(* One cache holds pipeline instances, rendered dependence reports and
-   verify-report parts; the key derivation keeps them apart. *)
+(* One cache holds pipeline instances, rendered dependence reports,
+   verify-report parts and per-unit analysis artifacts; the key
+   derivation keeps them apart. *)
 type entry =
   | E_pipeline of Pipeline.t
   | E_text of string
   | E_part of Verify.Check.part
+  | E_unit of Pipeline.unit_artifact
 
 type pass_counters = { p_hits : int Atomic.t; p_misses : int Atomic.t }
 
@@ -68,6 +70,10 @@ let base_key t src = Digest.feed_bool (Digest.of_strings [ src ]) t.options.use_
 let pipeline_key base = Digest.feed_string base "pipeline"
 let deps_key promote_digest = Digest.feed_string promote_digest "text.deps"
 
+(* Unit artifacts key off the unit digest alone (not the source): two
+   sources sharing an unchanged loop nest share its artifact. *)
+let unit_key udigest = Digest.feed_string udigest "unit.artifact"
+
 let pipeline_for t base src : Pipeline.t =
   match
     Cache.find_or_add t.cache (pipeline_key base) (fun () ->
@@ -75,7 +81,7 @@ let pipeline_for t base src : Pipeline.t =
           (Pipeline.create ~options:{ Pipeline.use_sccp = t.options.use_sccp } src))
   with
   | E_pipeline p -> p
-  | E_text _ | E_part _ -> assert false
+  | E_text _ | E_part _ | E_unit _ -> assert false
 
 let pipeline t src = pipeline_for t (base_key t src) src
 
@@ -89,6 +95,8 @@ let phase_metric = function
   | Pipeline.Ssa -> "phase.ssa"
   | Pipeline.Looptree -> "phase.looptree"
   | Pipeline.Sccp -> "phase.sccp"
+  | Pipeline.Units -> "phase.units"
+  | Pipeline.Unitclassify -> "phase.unit_classify"
   | Pipeline.Classify -> "phase.classify"
   | Pipeline.Trip -> "phase.trip"
   | Pipeline.Promote -> "phase.promote"
@@ -97,37 +105,108 @@ let phase_metric = function
   | Pipeline.VerifyClass -> "phase.verify_class"
   | Pipeline.VerifyTrans -> "phase.verify_trans"
 
-(* Force one pass: a hit when the pipeline already holds its result
-   (even a cached error), a miss — timed under the legacy phase metric,
-   with a cooperative-timeout tick — when it must run. *)
-let ensure t p pass : (unit, string) result =
-  let c = counters_of t pass in
-  if Pipeline.forced p pass then begin
+(* The unit-artifact cache interface handed to the pipeline's unit
+   walk. [Cache.find] (not [peek]) so reused artifacts stay warm in the
+   LRU. *)
+let unit_lookup t d =
+  match Cache.find t.cache (unit_key d) with
+  | Some (E_unit a) -> Some a
+  | Some (E_pipeline _ | E_text _ | E_part _) | None -> None
+
+let unit_store t d a = Cache.add t.cache (unit_key d) (E_unit a)
+
+(* A Classify miss runs through the unit layer: probe the shared unit
+   cache, analyze only the units that missed (fanned out over [pool]'s
+   domains when one is given), merge, and count one Unitclassify
+   hit/miss per nest unit — the per-unit incremental signal STATS and
+   traces expose. *)
+let classify_units ?pool t p : (Pipeline.unit_outcome list, string) result =
+  let pool_run =
+    Option.map
+      (fun pl thunks ->
+        Array.map
+          (fun o ->
+            match Pool.to_result o with
+            | Ok a -> a
+            | Error e -> failwith e)
+          (Pool.run pl (fun f -> f ()) thunks))
+      pool
+  in
+  match
+    Pipeline.classify_with_units ?pool_run ~lookup:(unit_lookup t)
+      ~store:(unit_store t) p
+  with
+  | Error e -> Error e
+  | Ok outcomes ->
+    let c = counters_of t Pipeline.Unitclassify in
+    List.iter
+      (fun (o : Pipeline.unit_outcome) ->
+        if o.Pipeline.u_hit then Atomic.incr c.p_hits
+        else Atomic.incr c.p_misses;
+        if Obs.Trace.enabled () then
+          Obs.Trace.event ~cat:"engine"
+            ~attrs:
+              [ ("unit", Obs.Trace.Int o.Pipeline.u_index);
+                ("loops", Obs.Trace.Str (String.concat "," o.Pipeline.u_loops));
+                ("hit", Obs.Trace.Bool o.Pipeline.u_hit) ]
+            "engine.unit")
+      outcomes;
+    Ok outcomes
+
+(* Classify, with its hit/miss accounting, returning the per-unit
+   outcomes (empty when the pass was already forced). *)
+let classify_outcomes ?pool t p : (Pipeline.unit_outcome list, string) result =
+  let c = counters_of t Pipeline.Classify in
+  if Pipeline.forced p Pipeline.Classify then begin
     Atomic.incr c.p_hits;
-    Ok ()
+    Ok []
   end
   else begin
     Atomic.incr c.p_misses;
     Pool.tick ();
-    Metrics.time t.metrics (phase_metric pass) (fun () -> Pipeline.force p pass)
+    Metrics.time t.metrics
+      (phase_metric Pipeline.Classify)
+      (fun () -> classify_units ?pool t p)
   end
 
-let rec ensure_chain t p = function
+(* Force one pass: a hit when the pipeline already holds its result
+   (even a cached error), a miss — timed under the legacy phase metric,
+   with a cooperative-timeout tick — when it must run. Classify routes
+   through the unit layer. *)
+let ensure ?pool t p pass : (unit, string) result =
+  match pass with
+  | Pipeline.Classify -> Result.map ignore (classify_outcomes ?pool t p)
+  | _ ->
+    let c = counters_of t pass in
+    if Pipeline.forced p pass then begin
+      Atomic.incr c.p_hits;
+      Ok ()
+    end
+    else begin
+      Atomic.incr c.p_misses;
+      Pool.tick ();
+      Metrics.time t.metrics (phase_metric pass) (fun () ->
+          Pipeline.force p pass)
+    end
+
+let rec ensure_chain ?pool t p = function
   | [] -> Ok ()
   | pass :: rest -> (
-    match ensure t p pass with
-    | Ok () -> ensure_chain t p rest
+    match ensure ?pool t p pass with
+    | Ok () -> ensure_chain ?pool t p rest
     | Error e -> Error e)
 
 (* Promote (and so Lower, which nothing here needs) is deliberately
    absent from the trip chain: a trip request must not force it. *)
-let classify_chain = Pipeline.[ Parse; Ssa; Looptree; Sccp; Classify; Promote ]
-let trip_chain = Pipeline.[ Parse; Ssa; Looptree; Sccp; Classify; Trip ]
+let classify_chain =
+  Pipeline.[ Parse; Ssa; Looptree; Sccp; Units; Classify; Promote ]
 
-let analyze t src : (Analysis.Driver.t, string) result =
+let trip_chain = Pipeline.[ Parse; Ssa; Looptree; Sccp; Units; Classify; Trip ]
+
+let analyze ?pool t src : (Analysis.Driver.t, string) result =
   Metrics.incr (Metrics.counter t.metrics "requests.analyze");
   let p = pipeline t src in
-  match ensure_chain t p classify_chain with
+  match ensure_chain ?pool t p classify_chain with
   | Error e -> Error e
   | Ok () -> (
     match Pipeline.promoted p with
@@ -136,8 +215,8 @@ let analyze t src : (Analysis.Driver.t, string) result =
 
 (* -- the dependence report (the service layer's own pass) -- *)
 
-let deps_text t p : (string, string) result =
-  match ensure_chain t p classify_chain with
+let deps_text ?pool t p : (string, string) result =
+  match ensure_chain ?pool t p classify_chain with
   | Error e -> Error e
   | Ok () -> (
     match Pipeline.promoted p with
@@ -166,7 +245,7 @@ let deps_text t p : (string, string) result =
        | E_text text ->
          Pipeline.note p Pipeline.Depgraph (Digest.of_strings [ text ]);
          Ok text
-       | E_pipeline _ | E_part _ -> assert false))
+       | E_pipeline _ | E_part _ | E_unit _ -> assert false))
 
 (* -- checked mode: the three verify passes (lib/verify) --
 
@@ -213,15 +292,15 @@ let ensure_part t p pass key compute : Verify.Check.part =
   | E_part part ->
     Pipeline.note p pass (Digest.of_strings [ Verify.Check.part_to_text part ]);
     part
-  | E_pipeline _ | E_text _ -> assert false
+  | E_pipeline _ | E_text _ | E_unit _ -> assert false
 
 (* The check chain forces Lower (unlike every other artifact): the
    structural verifier is the lowered CFG's consumer. *)
 let check_chain =
-  Pipeline.[ Parse; Lower; Ssa; Looptree; Sccp; Classify; Promote ]
+  Pipeline.[ Parse; Lower; Ssa; Looptree; Sccp; Units; Classify; Promote ]
 
-let check_parts t base p : (Verify.Check.report, string) result =
-  match ensure_chain t p check_chain with
+let check_parts ?pool t base p : (Verify.Check.report, string) result =
+  match ensure_chain ?pool t p check_chain with
   | Error e -> Error e
   | Ok () ->
     let get = function Ok v -> v | Error _ -> assert false (* chain forced *) in
@@ -272,7 +351,7 @@ let final_pass = function
   | Deps -> Pipeline.Depgraph
   | Check -> Pipeline.VerifyTrans
 
-let render t artifact src : (string, string) result =
+let render ?pool t artifact src : (string, string) result =
   let tag = artifact_to_string artifact in
   Metrics.incr (Metrics.counter t.metrics ("requests." ^ tag));
   let base = base_key t src in
@@ -281,15 +360,15 @@ let render t artifact src : (string, string) result =
   let compute () =
     match artifact with
     | Classify -> (
-      match ensure_chain t p classify_chain with
+      match ensure_chain ?pool t p classify_chain with
       | Error e -> Error e
       | Ok () -> Pipeline.report p)
     | Trip -> (
-      match ensure_chain t p trip_chain with
+      match ensure_chain ?pool t p trip_chain with
       | Error e -> Error e
       | Ok () -> Pipeline.trip_report p)
-    | Deps -> deps_text t p
-    | Check -> Result.map Verify.Check.to_text (check_parts t base p)
+    | Deps -> deps_text ?pool t p
+    | Check -> Result.map Verify.Check.to_text (check_parts ?pool t base p)
   in
   let result =
     if hit || not (Obs.Trace.enabled ()) then compute ()
@@ -307,6 +386,126 @@ let render t artifact src : (string, string) result =
 let classify t src = render t Classify src
 let deps t src = render t Deps src
 let trip t src = render t Trip src
+
+(* -- incremental surfaces -- *)
+
+(* Shared by diff and reanalyze: classify [src] through the unit layer
+   and hand back the per-unit outcomes alongside the pipeline. *)
+let classify_with_outcomes ?pool t src =
+  let p = pipeline t src in
+  match ensure_chain ?pool t p Pipeline.[ Parse; Ssa; Looptree; Sccp; Units ] with
+  | Error e -> Error e
+  | Ok () -> (
+    match classify_outcomes ?pool t p with
+    | Error e -> Error e
+    | Ok outcomes -> (
+      match ensure ?pool t p Pipeline.Promote with
+      | Error e -> Error e
+      | Ok () -> Ok (p, outcomes)))
+
+(* [diff t old_src new_src] analyzes OLD (warming the unit cache), then
+   NEW through it, and reports per unit whether its artifact was reused
+   and why. *)
+let diff ?pool t old_src new_src : (string, string) result =
+  Metrics.incr (Metrics.counter t.metrics "requests.diff");
+  match render ?pool t Classify old_src with
+  | Error e -> Error e
+  | Ok _ -> (
+    let old_hex =
+      match Pipeline.units (pipeline t old_src) with
+      | Ok (Some us) ->
+        List.map (fun u -> Digest.to_hex u.Pipeline.udigest) us
+      | Ok None | Error _ -> []
+    in
+    match classify_with_outcomes ?pool t new_src with
+    | Error e -> Error e
+    | Ok (p_new, outcomes) -> (
+      match Pipeline.units p_new with
+      | Error e -> Error e
+      | Ok None -> Ok "diff: no unit mapping; whole-program re-analysis\n"
+      | Ok (Some infos) ->
+        let buf = Buffer.create 256 in
+        let reused = ref 0 and reran = ref 0 in
+        let lines =
+          List.map
+            (fun (i : Pipeline.unit_info) ->
+              let idx = i.Pipeline.region.Ir.Region.index in
+              let kind =
+                Ir.Region.kind_to_string i.Pipeline.region.Ir.Region.kind
+              in
+              let loops =
+                match
+                  List.find_opt
+                    (fun o -> o.Pipeline.u_index = idx)
+                    outcomes
+                with
+                | Some o -> o.Pipeline.u_loops
+                | None -> []
+              in
+              let unchanged =
+                List.mem (Digest.to_hex i.Pipeline.udigest) old_hex
+              in
+              let status =
+                if i.Pipeline.uroots = [] then
+                  (* no loop work to reuse either way *)
+                  if unchanged then "unchanged (no loop work)"
+                  else "changed (no loop work)"
+                else
+                  match
+                    List.find_opt
+                      (fun o -> o.Pipeline.u_index = idx)
+                      outcomes
+                  with
+                  | Some o when o.Pipeline.u_hit ->
+                    incr reused;
+                    "reused (unit cache hit)"
+                  | Some _ ->
+                    incr reran;
+                    if unchanged then "reanalyzed (evicted)"
+                    else "reanalyzed (changed)"
+                  | None ->
+                    (* NEW was already classified before this diff *)
+                    if unchanged then begin
+                      incr reused;
+                      "reused (pipeline cached)"
+                    end
+                    else begin
+                      incr reran;
+                      "changed (pipeline cached)"
+                    end
+              in
+              Printf.sprintf "unit %-3d %-8s %-12s %s\n" idx kind
+                (match loops with [] -> "-" | l -> String.concat "," l)
+                status)
+            infos
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "diff: %d units, %d reused, %d reanalyzed\n"
+             (List.length infos) !reused !reran);
+        List.iter (Buffer.add_string buf) lines;
+        Ok (Buffer.contents buf)))
+
+(* [reanalyze t src] — the serve-mode REANALYZE verb: classify through
+   the unit layer and prepend a reuse summary to the classification
+   report. *)
+let reanalyze ?pool t src : (string, string) result =
+  Metrics.incr (Metrics.counter t.metrics "requests.reanalyze");
+  match classify_with_outcomes ?pool t src with
+  | Error e -> Error e
+  | Ok (p, outcomes) -> (
+    match Pipeline.report p with
+    | Error e -> Error e
+    | Ok report ->
+      let summary =
+        match outcomes with
+        | [] -> "reanalyze: pipeline cached\n"
+        | os ->
+          let hits = List.length (List.filter (fun o -> o.Pipeline.u_hit) os) in
+          Printf.sprintf "reanalyze: %d units, %d reused, %d computed\n"
+            (List.length os) hits
+            (List.length os - hits)
+      in
+      Ok (summary ^ report))
 
 let invalidate t src =
   let base = base_key t src in
@@ -374,6 +573,7 @@ let passes_report t src =
   List.iter
     (fun pass ->
       let status = if Pipeline.forced p pass then "forced" else "lazy" in
+      let owner = if Pipeline.engine_forced pass then "engine" else "pipeline" in
       let digest =
         match Pipeline.digest p pass with
         | Some d -> Digest.to_hex d
@@ -385,7 +585,7 @@ let passes_report t src =
         | l -> String.concat ", " (List.map Pipeline.name l)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-12s %-6s %-16s <- %s\n" (Pipeline.name pass) status
-           digest inputs))
+        (Printf.sprintf "%-14s %-6s %-8s %-16s <- %s\n" (Pipeline.name pass)
+           status owner digest inputs))
     Pipeline.all;
   Buffer.contents buf

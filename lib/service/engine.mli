@@ -53,16 +53,38 @@ val pipeline : t -> string -> Analysis.Pipeline.t
 (** The memoized whole-program analysis (forces through promotion).
     [Error] carries the parse (or SSA-construction) diagnostic; errors
     are cached too, so a corpus with a malformed member does not
-    re-parse it on every batch pass. *)
-val analyze : t -> string -> (Analysis.Driver.t, string) result
+    re-parse it on every batch pass.
+
+    On every entry point below, [?pool] lends the engine a domain pool:
+    when a Classify miss must analyze more than one unit, the per-unit
+    walks fan out across its workers. Only pass a pool from a
+    coordinator context — never from inside a pool task (nested [run]
+    would deadlock). *)
+val analyze : ?pool:Pool.pool -> t -> string -> (Analysis.Driver.t, string) result
 
 (** [render t artifact src] is the memoized text report, forcing only
-    the passes the artifact needs. *)
-val render : t -> artifact -> string -> (string, string) result
+    the passes the artifact needs. A Classify miss runs unit-at-a-time
+    through the shared unit-artifact cache: unchanged units (keyed by
+    their exact {!Analysis.Pipeline.unit_info} digest) are reused, and
+    each nest unit counts one [unit_classify] hit or miss in
+    {!pass_stats}. *)
+val render : ?pool:Pool.pool -> t -> artifact -> string -> (string, string) result
 
 val classify : t -> string -> (string, string) result
 val deps : t -> string -> (string, string) result
 val trip : t -> string -> (string, string) result
+
+(** [diff t old_src new_src] analyzes [old_src] (warming the unit
+    cache), then [new_src] through it, and renders one line per
+    analysis unit saying whether its artifact was reused or
+    re-analyzed, and why ([ivtool diff]). *)
+val diff : ?pool:Pool.pool -> t -> string -> string -> (string, string) result
+
+(** [reanalyze t src] — the serve-mode REANALYZE verb: classify [src]
+    through the unit layer and prepend a unit-reuse summary line to the
+    classification report. With a warm unit cache, only the units whose
+    digests changed are recomputed. *)
+val reanalyze : ?pool:Pool.pool -> t -> string -> (string, string) result
 
 (** [check t src] is checked mode as a structured report: the three
     verify passes ([verify_ir], [verify_class], [verify_trans]) forced
@@ -91,6 +113,8 @@ val pass_stats : t -> (string * int * int) list
     as text — the [STATS] payload. *)
 val stats_report : t -> string
 
-(** [passes_report t src] — the pass DAG for [src] with each pass's
-    forced/lazy status and result digest (the [ivtool passes] body). *)
+(** [passes_report t src] — the pass DAG for [src] (the [ivtool
+    passes] body). Columns: pass, forced/lazy status, owner ([engine]
+    for {!Analysis.Pipeline.engine_forced} passes, [pipeline]
+    otherwise), result digest, inputs. *)
 val passes_report : t -> string -> string

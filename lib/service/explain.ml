@@ -51,10 +51,13 @@ let report ?var events =
    program fails to parse/analyze, or when [var] matches no SCR. *)
 let run ?var engine src =
   (* A cache hit would skip classification (and so emit no provenance
-     events): force the pipeline to actually run. *)
+     events): drop the pipeline entry and classify through the
+     whole-program walk rather than [Engine.classify], whose unit-level
+     cache would splice in stored artifacts without re-classifying. *)
   ignore (Engine.invalidate engine src);
+  let p = Engine.pipeline engine src in
   let result, t =
-    Obs.Trace.collect (fun () -> Engine.classify engine src)
+    Obs.Trace.collect (fun () -> Analysis.Pipeline.report p)
   in
   match result with
   | Error msg -> Error msg

@@ -14,9 +14,9 @@ let with_file path f =
   | src -> f src
   | exception Sys_error msg -> Err msg
 
-let artifact_reply engine artifact path =
+let artifact_reply ?pool engine artifact path =
   with_file path (fun src ->
-      match Engine.render engine artifact src with
+      match Engine.render ?pool engine artifact src with
       | Ok text -> Ok_payload text
       | Error msg -> Err msg)
 
@@ -84,6 +84,13 @@ let handle ?pool engine line =
   | "INVALIDATE", Some path ->
     with_file path (fun src ->
         Ok_payload (Printf.sprintf "invalidated %d\n" (Engine.invalidate engine src)))
+  | "REANALYZE", Some path ->
+    (* Re-read an updated source and classify it through the unit
+       layer: unchanged loop nests reuse their cached artifacts. *)
+    with_file path (fun src ->
+        match Engine.reanalyze ?pool engine src with
+        | Ok text -> Ok_payload text
+        | Error msg -> Err msg)
   | (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK") as cmd), Some path ->
     let artifact =
       match cmd with
@@ -92,9 +99,9 @@ let handle ?pool engine line =
       | "CHECK" -> Engine.Check
       | _ -> Engine.Trip
     in
-    artifact_reply engine artifact path
-  | ( (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK" | "INVALIDATE" | "PASSES" | "BATCH")
-      as cmd),
+    artifact_reply ?pool engine artifact path
+  | ( (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK" | "INVALIDATE" | "PASSES" | "BATCH"
+      | "REANALYZE") as cmd),
       None ) ->
     Err (cmd ^ " needs a file argument")
   | (("QUIT" | "STATS" | "RESET" | "TRACE") as cmd), Some _ ->

@@ -4,9 +4,10 @@
 
     {v
     request  := COMMAND [SP ARG] NL
-    COMMAND  := CLASSIFY path | DEPS path | TRIP path
-              | BATCH artifact path...      (artifact := classify|deps|trip)
-              | PASSES path | INVALIDATE path | STATS | RESET | QUIT
+    COMMAND  := CLASSIFY path | DEPS path | TRIP path | CHECK path
+              | REANALYZE path
+              | BATCH artifact path...      (artifact := classify|deps|trip|check)
+              | PASSES path | INVALIDATE path | STATS | TRACE | RESET | QUIT
     reply    := "OK " nbytes NL payload     (exactly nbytes bytes)
               | "ERR " message NL
               | "BYE" NL                    (QUIT / end of input)
@@ -16,6 +17,10 @@
     pool (when one was given to {!run}) and replies with per-file
     sections under [== path ==] headers, in argument order. [PASSES]
     prints the pass DAG for a file with forced/lazy status per pass.
+    [REANALYZE] re-reads a (possibly updated) file and classifies it
+    through the unit layer, prepending a unit-reuse summary — with a
+    warm cache only the edited loop nests are recomputed (see
+    docs/INCREMENTAL.md).
 
     Paths are read from the server's filesystem on every request; the
     cache key is the file's {e content}, so touching a file without

@@ -37,6 +37,7 @@ let () =
       Test_dep_oracle.suite;
       Test_cache.suite;
       Test_pipeline.suite;
+      Test_incremental.suite;
       Test_pool.suite;
       Test_server.suite;
       Test_trace.suite;

@@ -1,0 +1,203 @@
+(* Region-based incremental re-analysis: the per-unit cache must make
+   an edit to one loop nest cheap (every other unit is a cache hit)
+   without ever changing a byte of the merged whole-program reports. *)
+
+module Engine = Service.Engine
+module Server = Service.Server
+module Pipeline = Analysis.Pipeline
+module Region = Ir.Region
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* Three independent top-level nests with straight-line code between
+   the first two; editing one nest must leave the other units' digests
+   (and so their cached artifacts) untouched. *)
+let base ?(body1 = "s + i") ?(body2 = "t + 2") () =
+  Printf.sprintf
+    "s = 0\n\
+     L1: for i = 1 to n loop\n\
+    \  s = %s\n\
+    \  A(i) = s\n\
+     endloop\n\
+     t = 0\n\
+     L2: for j = 1 to m loop\n\
+    \  t = %s\n\
+    \  B(j) = t\n\
+     endloop\n\
+     L3: for k = 1 to 10 loop\n\
+    \  C(k) = k * k\n\
+     endloop\n"
+    body1 body2
+
+let old_src = base ()
+let new_src = base ~body2:"t + 3" ()
+
+let stat engine name =
+  match
+    List.find_opt (fun (p, _, _) -> p = name) (Engine.pass_stats engine)
+  with
+  | Some (_, hits, misses) -> (hits, misses)
+  | None -> Alcotest.failf "no pass named %s in pass_stats" name
+
+(* --- the partition itself --- *)
+
+let test_partition () =
+  let p = Pipeline.create old_src in
+  match ok (Pipeline.units p) with
+  | None -> Alcotest.fail "expected a unit mapping for a structured program"
+  | Some infos ->
+    Alcotest.(check int) "five units" 5 (List.length infos);
+    let kinds =
+      List.map
+        (fun (i : Pipeline.unit_info) -> Region.kind_to_string i.region.kind)
+        infos
+    in
+    Alcotest.(check (list string))
+      "straight / nest interleaving"
+      [ "straight"; "nest"; "straight"; "nest"; "nest" ]
+      kinds;
+    List.iter
+      (fun (i : Pipeline.unit_info) ->
+        match i.region.kind with
+        | Region.Nest ->
+          Alcotest.(check bool) "nest unit owns loops" true (i.uroots <> [])
+        | Region.Straight ->
+          Alcotest.(check bool) "straight unit owns no loops" true
+            (i.uroots = []))
+      infos
+
+(* --- cache behaviour across an edit --- *)
+
+let test_unit_reuse () =
+  let e = Engine.create () in
+  ignore (ok (Engine.classify e old_src));
+  Alcotest.(check (pair int int))
+    "cold run computes all three nests" (0, 3) (stat e "unit_classify");
+  ignore (ok (Engine.classify e new_src));
+  (* Only L2 changed: L1 and L3 are served from the unit cache, the
+     edited nest is the single new miss. *)
+  Alcotest.(check (pair int int))
+    "edit reuses the two untouched nests" (2, 4) (stat e "unit_classify")
+
+(* --- byte-identity of the merged reports --- *)
+
+let reports engine src =
+  List.map
+    (fun a -> ok (Engine.render engine a src))
+    [ Engine.Classify; Engine.Trip; Engine.Deps ]
+
+let check_identical ?(expect_reuse = true) ~edited old_src new_src =
+  let warm = Engine.create () in
+  ignore (ok (Engine.classify warm old_src));
+  let incremental = reports warm new_src in
+  let cold = reports (Engine.create ()) new_src in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) ("incremental = cold after " ^ edited) a b)
+    cold incremental;
+  if expect_reuse then begin
+    (* Some nest really was reused, so the equality above is a
+       statement about merged-from-cache output, not a trivial re-run. *)
+    let hits, _ = stat warm "unit_classify" in
+    Alcotest.(check bool) "some units were reused" true (hits > 0)
+  end
+
+let test_merged_byte_identity () = check_identical ~edited:"a mid-nest edit" old_src new_src
+
+let test_first_nest_edit () =
+  (* Same program, different edited unit: the first nest this time
+     (size-preserving, so downstream SSA ids — and with them the other
+     units' digests — are untouched). *)
+  check_identical ~edited:"a first-nest edit" old_src (base ~body1:"s - i" ())
+
+let test_size_changing_edit () =
+  (* An edit that inserts an instruction shifts every downstream SSA id,
+     so the digests of later units change and their artifacts are not
+     reused — correctness over cleverness. The merged output must still
+     be byte-identical to a cold run. *)
+  check_identical ~expect_reuse:false ~edited:"a size-changing edit" old_src
+    (base ~body1:"s + 2 * i" ())
+
+let test_parallel_merge_identical () =
+  (* Unit fan-out across domains must not perturb merged output. *)
+  let pool = Service.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Service.Pool.shutdown pool)
+    (fun () ->
+      let warm = Engine.create () in
+      ignore (ok (Engine.classify warm old_src));
+      let par = ok (Engine.render ~pool warm Engine.Classify new_src) in
+      let seq = ok (Engine.render (Engine.create ()) Engine.Classify new_src) in
+      Alcotest.(check string) "pooled merge = sequential" seq par)
+
+(* --- the merged analysis still satisfies the checked-mode oracle --- *)
+
+let test_check_after_merge () =
+  let e = Engine.create () in
+  ignore (ok (Engine.classify e old_src));
+  ignore (ok (Engine.classify e new_src));
+  let report = ok (Engine.check e new_src) in
+  Alcotest.(check int) "no checker errors on merged analysis" 0
+    (Verify.Check.errors report);
+  Alcotest.(check bool) "oracle actually checked something" true
+    (Verify.Check.checks report > 0)
+
+(* --- user-facing surfaces --- *)
+
+let test_diff_report () =
+  let e = Engine.create () in
+  let text = ok (Engine.diff e old_src new_src) in
+  Alcotest.(check bool) "counts the units" true
+    (Helpers.contains text "diff: 5 units");
+  Alcotest.(check bool) "reused nests are visible" true
+    (Helpers.contains text "reused (unit cache hit)");
+  Alcotest.(check bool) "the edited nest is re-analyzed" true
+    (Helpers.contains text "reanalyzed (changed)")
+
+let with_temp_program src f =
+  let path = Filename.temp_file "ivtool_incr" ".iv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc src;
+      close_out oc;
+      f path)
+
+let payload = function
+  | Server.Ok_payload s -> s
+  | Server.Err msg -> Alcotest.fail ("unexpected ERR: " ^ msg)
+  | Server.Bye -> Alcotest.fail "unexpected BYE"
+
+let test_reanalyze_verb () =
+  let e = Engine.create () in
+  with_temp_program old_src (fun path ->
+      ignore (payload (Server.handle e ("CLASSIFY " ^ path))));
+  with_temp_program new_src (fun path ->
+      let reply = payload (Server.handle e ("REANALYZE " ^ path)) in
+      (* The summary counts nest units (straight-line units carry no
+         cached loop work): two of the three nests are reused. *)
+      Alcotest.(check bool) "summarises reuse" true
+        (Helpers.contains reply "reanalyze: 3 units, 2 reused, 1 computed");
+      Alcotest.(check bool) "carries the classify report" true
+        (Helpers.contains reply "loop L2"));
+  Alcotest.(check bool) "REANALYZE needs a path" true
+    (match Server.handle e "REANALYZE" with
+     | Server.Err msg -> Helpers.contains msg "file argument"
+     | _ -> false)
+
+let suite =
+  ( "incremental",
+    [
+      Helpers.case "partition into units" test_partition;
+      Helpers.case "edit reuses untouched units" test_unit_reuse;
+      Helpers.case "merged reports byte-identical" test_merged_byte_identity;
+      Helpers.case "first-nest edit byte-identical" test_first_nest_edit;
+      Helpers.case "size-changing edit byte-identical" test_size_changing_edit;
+      Helpers.case "parallel merge byte-identical" test_parallel_merge_identical;
+      Helpers.case "checked mode passes on merged" test_check_after_merge;
+      Helpers.case "diff report" test_diff_report;
+      Helpers.case "REANALYZE serve verb" test_reanalyze_verb;
+    ] )
