@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-b2 trace-demo clean
+.PHONY: build test check bench bench-smoke bench-b1 bench-b2 trace-demo clean
 
 build:
 	dune build
@@ -19,6 +19,12 @@ bench:
 # One fast pass over the service batch and unit paths (B1 + B2 only).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Full-scale batch-throughput experiment (B1 only; writes
+# BENCH_service.json including the disk-warm persistent-store rows —
+# see docs/STORE.md).
+bench-b1:
+	dune exec bench/main.exe -- --b1
 
 # Full-scale incremental re-analysis experiment (B2 only; writes
 # BENCH_incremental.json — see docs/INCREMENTAL.md).

@@ -440,7 +440,9 @@ let run_benchmarks () =
 (* ------------------------------------------------------------------ *)
 
 (* Batch-analyze a synthetic corpus through lib/service: 1 domain vs N
-   domains, cold cache vs warm cache. Wall-clock times (monotonic
+   domains; cold cache vs disk-warm (a fresh engine over a populated
+   persistent store — the restarted-server shape, see docs/STORE.md)
+   vs memory-warm cache. Wall-clock times (monotonic
    enough at these durations: Unix.gettimeofday), plus the engine's own
    cache counters. Results go to stdout as a table and to
    BENCH_service.json for machine consumption. *)
@@ -461,12 +463,14 @@ let b1_corpus n =
 
 type b1_run = {
   domains : int;
-  cache : string; (* "cold" | "warm" *)
+  cache : string; (* "cold" | "disk" | "warm" *)
   pool : bool; (* resident worker pool vs spawn-per-pass *)
   seconds : float;
   files_per_sec : float;
   hits : int;
   misses : int;
+  store_hits : int; (* disk-tier traffic; zero without a store *)
+  store_misses : int;
 }
 
 let b1_artifacts = [ Service.Engine.Classify; Service.Engine.Deps; Service.Engine.Trip ]
@@ -485,9 +489,32 @@ let b1_time_pass ?pool ~domains ~engine items =
     results;
   dt
 
+let rec b1_rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> b1_rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let b1_open_store root =
+  match Store.Disk.open_store ~root () with
+  | Ok s -> s
+  | Error msg -> failwith ("B1: " ^ msg)
+
 let b1_runs ~corpus_size ~reps ~domain_counts =
   let items = b1_corpus corpus_size in
   let n = float_of_int corpus_size in
+  (* One persistent store, populated outside every timed region: the
+     disk-warm rows measure a *restarted process* (fresh engine, empty
+     memory cache) against it — the serve-fleet sharing shape. *)
+  let store_root = Filename.temp_file "ivbench_store" "" in
+  Sys.remove store_root;
+  let populate () =
+    let engine =
+      Service.Engine.create ~capacity:4096 ~store:(b1_open_store store_root) ()
+    in
+    ignore (Service.Batch.run ~domains:1 ~engine ~artifacts:b1_artifacts items)
+  in
   let measure ~domains ~use_pool =
     (* Best-of-[reps], with a fresh engine per cold rep so the cold
        measurement never sees a warm cache. With [use_pool] the workers
@@ -510,10 +537,26 @@ let b1_runs ~corpus_size ~reps ~domain_counts =
               b1_time_pass ?pool ~domains ~engine:!last_engine items)
         in
         let cold_stats = Service.Engine.cache_stats !last_engine in
-        let warm =
-          best (fun () -> b1_time_pass ?pool ~domains ~engine:!last_engine items)
+        let disk =
+          best (fun () ->
+              last_engine :=
+                Service.Engine.create ~capacity:4096
+                  ~store:(b1_open_store store_root) ();
+              b1_time_pass ?pool ~domains ~engine:!last_engine items)
         in
-        let warm_stats = Service.Engine.cache_stats !last_engine in
+        let disk_store =
+          match Service.Engine.store !last_engine with
+          | Some s -> Store.Disk.stats s
+          | None -> assert false
+        in
+        let disk_stats = Service.Engine.cache_stats !last_engine in
+        let warm_base = Service.Engine.create ~capacity:4096 () in
+        ignore (b1_time_pass ?pool ~domains ~engine:warm_base items);
+        let warm_cold_stats = Service.Engine.cache_stats warm_base in
+        let warm =
+          best (fun () -> b1_time_pass ?pool ~domains ~engine:warm_base items)
+        in
+        let warm_stats = Service.Engine.cache_stats warm_base in
         [
           {
             domains;
@@ -523,6 +566,19 @@ let b1_runs ~corpus_size ~reps ~domain_counts =
             files_per_sec = n /. cold;
             hits = cold_stats.Service.Cache.hits;
             misses = cold_stats.Service.Cache.misses;
+            store_hits = 0;
+            store_misses = 0;
+          };
+          {
+            domains;
+            cache = "disk";
+            pool = use_pool;
+            seconds = disk;
+            files_per_sec = n /. disk;
+            hits = disk_stats.Service.Cache.hits;
+            misses = disk_stats.Service.Cache.misses;
+            store_hits = disk_store.Store.Disk.hits;
+            store_misses = disk_store.Store.Disk.misses;
           };
           {
             domains;
@@ -530,16 +586,24 @@ let b1_runs ~corpus_size ~reps ~domain_counts =
             pool = use_pool;
             seconds = warm;
             files_per_sec = n /. warm;
-            hits = warm_stats.Service.Cache.hits - cold_stats.Service.Cache.hits;
-            misses = warm_stats.Service.Cache.misses - cold_stats.Service.Cache.misses;
+            hits = warm_stats.Service.Cache.hits - warm_cold_stats.Service.Cache.hits;
+            misses =
+              warm_stats.Service.Cache.misses - warm_cold_stats.Service.Cache.misses;
+            store_hits = 0;
+            store_misses = 0;
           };
         ])
   in
-  List.concat_map
-    (fun domains ->
-      measure ~domains ~use_pool:false
-      @ (if domains > 1 then measure ~domains ~use_pool:true else []))
-    domain_counts
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store_root then b1_rm_rf store_root)
+    (fun () ->
+      populate ();
+      List.concat_map
+        (fun domains ->
+          measure ~domains ~use_pool:false
+          @ (if domains > 1 then measure ~domains ~use_pool:true else []))
+        domain_counts)
 
 (* --- per-phase breakdown (lib/obs tracing) ---
 
@@ -631,8 +695,9 @@ let b1_phase_runs ~domain_counts items =
 let b1_json ~corpus_size runs phases =
   let run_json r =
     Printf.sprintf
-      "    {\"domains\": %d, \"cache\": \"%s\", \"pool\": %b, \"seconds\": %.6f, \"files_per_sec\": %.1f, \"cache_hits\": %d, \"cache_misses\": %d}"
+      "    {\"domains\": %d, \"cache\": \"%s\", \"pool\": %b, \"seconds\": %.6f, \"files_per_sec\": %.1f, \"cache_hits\": %d, \"cache_misses\": %d, \"store_hits\": %d, \"store_misses\": %d}"
       r.domains r.cache r.pool r.seconds r.files_per_sec r.hits r.misses
+      r.store_hits r.store_misses
   in
   let phase_json p =
     Printf.sprintf
@@ -644,7 +709,7 @@ let b1_json ~corpus_size runs phases =
     [
       "{";
       "  \"experiment\": \"B1\",";
-      "  \"description\": \"service batch throughput: 1 vs N domains, cold vs warm cache\",";
+      "  \"description\": \"service batch throughput: 1 vs N domains; cold vs disk-warm (persistent store, fresh process) vs memory-warm cache\",";
       Printf.sprintf "  \"corpus_files\": %d," corpus_size;
       "  \"artifacts\": [\"classify\", \"deps\", \"trip\"],";
       "  \"runs\": [";
@@ -671,10 +736,14 @@ let experiment_b1 ~smoke () =
   List.iter
     (fun r ->
       Printf.printf
-        "  domains=%d %-4s %-5s %8.4fs %8.1f files/s  hits=%d misses=%d\n"
+        "  domains=%d %-4s %-5s %8.4fs %8.1f files/s  hits=%d misses=%d%s\n"
         r.domains r.cache
         (if r.pool then "pool" else "spawn")
-        r.seconds r.files_per_sec r.hits r.misses)
+        r.seconds r.files_per_sec r.hits r.misses
+        (if r.cache = "disk" then
+           Printf.sprintf " store_hits=%d store_misses=%d" r.store_hits
+             r.store_misses
+         else ""))
     runs;
   let phases = b1_phase_runs ~domain_counts (b1_corpus corpus_size) in
   print_endline "   per-phase (one traced pass each; times are summed span µs):";
@@ -852,12 +921,19 @@ let experiment_b2 ~smoke () =
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let b1_only = Array.exists (( = ) "--b1") Sys.argv in
   let b2_only = Array.exists (( = ) "--b2") Sys.argv in
   if smoke then begin
     (* `make bench-smoke`: one fast pass over the batch and unit paths. *)
     experiment_b1 ~smoke:true ();
     experiment_b2 ~smoke:true ();
     print_endline "bench: done (smoke)"
+  end
+  else if b1_only then begin
+    (* Full-scale batch-throughput experiment alone (`make bench-b1`):
+       regenerates BENCH_service.json including the disk-warm rows. *)
+    experiment_b1 ~smoke:false ();
+    print_endline "bench: done (b1)"
   end
   else if b2_only then begin
     (* Full-scale incremental experiment alone (CI runs this per push;

@@ -29,6 +29,11 @@
      ivtool passes FILE      — the pass DAG with forced/lazy status
      ivtool diff OLD NEW     — incremental re-analysis: which analysis
                                units (loop nests) were reused vs re-run
+     ivtool gc --store DIR   — size/age retention over a persistent store
+
+   batch/serve/passes/diff take --store DIR: a crash-safe on-disk
+   artifact store layered under the memory cache and shared by any
+   number of concurrent processes (docs/STORE.md).
 
    Exit codes: 0 success; 1 usage error (unknown subcommand, bad flags,
    missing input file); 2 parse or analysis error. All diagnostics are
@@ -59,10 +64,21 @@ let parse_or_fail src =
 
 let with_source file f = f (parse_or_fail (read_file file))
 
-let engine_of ~no_sccp ?(check_iters = 100) ?(cache_size = 256) () =
+(* Resolve --store/--no-store into a disk-store handle. A store that
+   cannot be opened is a usage error, not a degraded run: silently
+   dropping persistence would defeat the point of asking for it. *)
+let store_of ~store_dir ~no_store =
+  match store_dir with
+  | Some dir when not no_store -> (
+    match Store.Disk.open_store ~root:dir () with
+    | Ok s -> Some s
+    | Error msg -> fatal 1 "--store: %s" msg)
+  | _ -> None
+
+let engine_of ~no_sccp ?(check_iters = 100) ?(cache_size = 256) ?store () =
   Service.Engine.create ~capacity:cache_size
     ~options:{ Service.Engine.use_sccp = not no_sccp; check_iters }
-    ()
+    ?store ()
 
 let render_or_fail r = match r with Ok s -> print_string s | Error msg -> fatal 2 "%s" msg
 
@@ -284,9 +300,11 @@ let parse_artifacts spec =
     names
 
 let cmd_batch jobs repeat artifacts timeout cache_size no_sccp check stats
-    trace_file trace_summary files =
+    store_dir no_store trace_file trace_summary files =
   let artifacts = parse_artifacts artifacts in
-  let engine = engine_of ~no_sccp ~cache_size () in
+  let engine =
+    engine_of ~no_sccp ~cache_size ?store:(store_of ~store_dir ~no_store) ()
+  in
   let items =
     List.map (fun f -> { Service.Batch.name = f; source = read_file f }) files
   in
@@ -346,8 +364,10 @@ let cmd_batch jobs repeat artifacts timeout cache_size no_sccp check stats
   if !failures > 0 then
     fatal 2 "%d of %d files failed" !failures (List.length results)
 
-let cmd_serve jobs cache_size no_sccp =
-  let engine = engine_of ~no_sccp ~cache_size () in
+let cmd_serve jobs cache_size no_sccp store_dir no_store =
+  let engine =
+    engine_of ~no_sccp ~cache_size ?store:(store_of ~store_dir ~no_store) ()
+  in
   (* Serve mode always collects: the TRACE verb drains this collector,
      and its record limit bounds memory between drains. *)
   Obs.Trace.install (Obs.Trace.create ());
@@ -361,8 +381,9 @@ let cmd_serve jobs cache_size no_sccp =
 
 (* --- diff: incremental re-analysis of an edited program --- *)
 
-let cmd_diff jobs no_sccp emit trace_file trace_summary stats old_file new_file =
-  let engine = engine_of ~no_sccp () in
+let cmd_diff jobs no_sccp emit trace_file trace_summary stats store_dir no_store
+    old_file new_file =
+  let engine = engine_of ~no_sccp ?store:(store_of ~store_dir ~no_store) () in
   let old_src = read_file old_file in
   let new_src = read_file new_file in
   let with_pool f =
@@ -397,8 +418,8 @@ let cmd_diff jobs no_sccp emit trace_file trace_summary stats old_file new_file 
 
 (* --- passes: the pass DAG with forced/lazy status --- *)
 
-let cmd_passes no_sccp force file =
-  let engine = engine_of ~no_sccp () in
+let cmd_passes no_sccp force store_dir no_store file =
+  let engine = engine_of ~no_sccp ?store:(store_of ~store_dir ~no_store) () in
   let src = read_file file in
   List.iter
     (fun a ->
@@ -407,6 +428,23 @@ let cmd_passes no_sccp force file =
       | Error msg -> fatal 2 "%s" msg)
     (match force with None -> [] | Some spec -> parse_artifacts spec);
   print_string (Service.Engine.passes_report engine src)
+
+(* --- gc: size/age policy over a persistent artifact store --- *)
+
+let cmd_gc store_dir max_age max_mb dry_run =
+  let store =
+    match Store.Disk.open_store ~root:store_dir () with
+    | Ok s -> s
+    | Error msg -> fatal 1 "--store: %s" msg
+  in
+  let report =
+    Store.Disk.gc ~dry_run ?max_age_s:max_age
+      ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_mb)
+      store ()
+  in
+  Printf.printf "%s%s\n"
+    (if dry_run then "dry run: " else "")
+    (Store.Disk.gc_report_to_string report)
 
 (* --- explain: classification provenance --- *)
 
@@ -447,6 +485,18 @@ let trace_summary_flag =
 
 let cache_size_flag =
   Arg.(value & opt int 1024 & info [ "cache-size" ] ~doc:"Artifact cache capacity (entries).")
+
+let store_flag =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Persistent artifact store directory (created if missing): \
+                 rendered reports are served from and published to it, so \
+                 restarts and sibling processes sharing $(docv) start warm.")
+
+let no_store_flag =
+  Arg.(value & flag
+       & info [ "no-store" ]
+           ~doc:"Ignore --store: run with the in-memory cache only.")
 
 let check_flag =
   Arg.(value & flag
@@ -591,8 +641,8 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Analyze a corpus of programs in parallel through the caching service.")
     Term.(const cmd_batch $ jobs $ repeat $ artifacts $ timeout $ cache_size_flag
-          $ no_sccp_flag $ check_flag $ stats $ trace_flag $ trace_summary_flag
-          $ files)
+          $ no_sccp_flag $ check_flag $ stats $ store_flag $ no_store_flag
+          $ trace_flag $ trace_summary_flag $ files)
 
 let serve_cmd =
   let jobs =
@@ -602,9 +652,10 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve CLASSIFY/DEPS/TRIP/BATCH/STATS requests over stdin/stdout \
-             (see docs/SERVICE.md).")
-    Term.(const cmd_serve $ jobs $ cache_size_flag $ no_sccp_flag)
+       ~doc:"Serve CLASSIFY/DEPS/TRIP/BATCH/STATS/PERSIST requests over \
+             stdin/stdout (see docs/SERVICE.md).")
+    Term.(const cmd_serve $ jobs $ cache_size_flag $ no_sccp_flag $ store_flag
+          $ no_store_flag)
 
 let diff_cmd =
   let jobs =
@@ -636,7 +687,8 @@ let diff_cmd =
              analysis units (loop nests) were reused and which re-analyzed, \
              and why.")
     Term.(const cmd_diff $ jobs $ no_sccp_flag $ emit $ trace_flag
-          $ trace_summary_flag $ stats $ old_file $ new_file)
+          $ trace_summary_flag $ stats $ store_flag $ no_store_flag $ old_file
+          $ new_file)
 
 let passes_cmd =
   let force =
@@ -648,8 +700,36 @@ let passes_cmd =
   Cmd.v
     (Cmd.info "passes"
        ~doc:"Print the analysis pass DAG for a file: each pass's inputs, \
-             forced/lazy status and result digest.")
-    Term.(const cmd_passes $ no_sccp_flag $ force $ file_arg)
+             forced/lazy status, owner (pipeline, engine, or store when the \
+             artifact came off the persistent tier) and result digest.")
+    Term.(const cmd_passes $ no_sccp_flag $ force $ store_flag $ no_store_flag
+          $ file_arg)
+
+let gc_cmd =
+  let store_dir =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR" ~doc:"The store directory to collect.")
+  in
+  let max_age =
+    Arg.(value & opt (some float) None
+         & info [ "max-age" ] ~docv:"SECONDS"
+             ~doc:"Delete entries not republished for $(docv) seconds.")
+  in
+  let max_mb =
+    Arg.(value & opt (some int) None
+         & info [ "max-mb" ] ~docv:"MB"
+             ~doc:"Then delete oldest entries until at most $(docv) MiB remain.")
+  in
+  let dry_run =
+    Arg.(value & flag
+         & info [ "dry-run" ] ~doc:"Report what would be deleted; delete nothing.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Apply a size/age retention policy to a persistent artifact store \
+             (safe to run while serve/batch processes use it; they recompute \
+             evicted entries).")
+    Term.(const cmd_gc $ store_dir $ max_age $ max_mb $ dry_run)
 
 let () =
   let info =
@@ -682,6 +762,7 @@ let () =
       serve_cmd;
       passes_cmd;
       diff_cmd;
+      gc_cmd;
     ]
   in
   let exit_code =

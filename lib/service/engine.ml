@@ -41,14 +41,33 @@ type entry =
 
 type pass_counters = { p_hits : int Atomic.t; p_misses : int Atomic.t }
 
+(* Where a rendered artifact came from: the memory tier (a forced
+   pipeline or a promoted text entry), the disk store, or a fresh
+   computation. One triple per artifact kind — the per-kind hit-rate
+   line in STATS. *)
+type tier_counters = {
+  a_mem : int Atomic.t;
+  a_disk : int Atomic.t;
+  a_computed : int Atomic.t;
+}
+
+let all_artifacts = [ Classify; Deps; Trip; Check ]
+
 type t = {
   options : options;
   cache : (Digest.t, entry) Cache.t;
   metrics : Metrics.t;
   counters : (Pipeline.pass * pass_counters) list;
+  tiers : (artifact * tier_counters) list;
+  mutable store : Store.Disk.t option;
+  (* (base key, pass) pairs whose artifact was served from the disk
+     store in this process — the `store` owner tier of `ivtool
+     passes`. *)
+  prov_lock : Mutex.t;
+  store_served : (Digest.t * Pipeline.pass, unit) Hashtbl.t;
 }
 
-let create ?(capacity = 256) ?(options = default_options) () =
+let create ?(capacity = 256) ?(options = default_options) ?store () =
   {
     options;
     cache = Cache.create ~capacity ();
@@ -57,11 +76,26 @@ let create ?(capacity = 256) ?(options = default_options) () =
       List.map
         (fun p -> (p, { p_hits = Atomic.make 0; p_misses = Atomic.make 0 }))
         Pipeline.all;
+    tiers =
+      List.map
+        (fun a ->
+          ( a,
+            {
+              a_mem = Atomic.make 0;
+              a_disk = Atomic.make 0;
+              a_computed = Atomic.make 0;
+            } ))
+        all_artifacts;
+    store;
+    prov_lock = Mutex.create ();
+    store_served = Hashtbl.create 16;
   }
 
 let options t = t.options
 let metrics t = t.metrics
 let cache_stats t = Cache.stats t.cache
+let store t = t.store
+let set_store t s = t.store <- s
 
 (* -- keys: the source text is digested exactly once per request; every
    key below derives from that digest -- *)
@@ -73,6 +107,62 @@ let deps_key promote_digest = Digest.feed_string promote_digest "text.deps"
 (* Unit artifacts key off the unit digest alone (not the source): two
    sources sharing an unchanged loop nest share its artifact. *)
 let unit_key udigest = Digest.feed_string udigest "unit.artifact"
+
+(* -- the disk tier (lib/store) --
+
+   The store persists *rendered* artifacts: byte-stable report text
+   keyed by source digest ⊕ options ⊕ artifact kind. (Structured unit
+   artifacts stay memory-only: they embed interned identifiers whose
+   ids are process-local, so marshaling them across processes would be
+   unsound. The rendered text is the deterministic function of the
+   digest that survives.) [store_schema] versions the *content* of the
+   reports — bump it whenever a renderer's output format changes, so a
+   shared fleet store never serves bytes from an older report format. *)
+
+let store_schema = 1
+
+let render_key t base artifact =
+  let k =
+    Digest.feed_int
+      (Digest.feed_string base ("render." ^ artifact_to_string artifact))
+      store_schema
+  in
+  (* The rendered check report depends on the oracle's iteration bound;
+     two processes with different --iters must not share it. *)
+  match artifact with
+  | Check -> Digest.feed_int k t.options.check_iters
+  | Classify | Deps | Trip -> k
+
+let tier_of t artifact = List.assoc artifact t.tiers
+
+let mark_store_served t base pass =
+  Mutex.lock t.prov_lock;
+  Hashtbl.replace t.store_served (base, pass) ();
+  Mutex.unlock t.prov_lock
+
+let was_store_served t base pass =
+  Mutex.lock t.prov_lock;
+  let r = Hashtbl.mem t.store_served (base, pass) in
+  Mutex.unlock t.prov_lock;
+  r
+
+(* Probe the disk tier under an [engine.store] span. Absent store =
+   silent None, so every caller works unchanged without one. *)
+let store_probe t tag key =
+  match t.store with
+  | None -> None
+  | Some s ->
+    let probe () = Store.Disk.get s ~kind:tag key in
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span ~cat:"engine"
+        ~attrs:[ ("artifact", Obs.Trace.Str tag) ]
+        "engine.store" probe
+    else probe ()
+
+let store_publish t tag key text =
+  match t.store with
+  | None -> ()
+  | Some s -> Store.Disk.put s ~kind:tag key text
 
 let pipeline_for t base src : Pipeline.t =
   match
@@ -351,37 +441,86 @@ let final_pass = function
   | Deps -> Pipeline.Depgraph
   | Check -> Pipeline.VerifyTrans
 
+(* The three-step read path: memory (a forced pipeline, or the rendered
+   text an earlier disk hit promoted into the LRU), then the disk store,
+   then compute — publishing the fresh rendering back to the store so
+   the next process starts warm. *)
 let render ?pool t artifact src : (string, string) result =
   let tag = artifact_to_string artifact in
   Metrics.incr (Metrics.counter t.metrics ("requests." ^ tag));
   let base = base_key t src in
-  let p = pipeline_for t base src in
-  let hit = Pipeline.forced p (final_pass artifact) in
-  let compute () =
-    match artifact with
-    | Classify -> (
-      match ensure_chain ?pool t p classify_chain with
-      | Error e -> Error e
-      | Ok () -> Pipeline.report p)
-    | Trip -> (
-      match ensure_chain ?pool t p trip_chain with
-      | Error e -> Error e
-      | Ok () -> Pipeline.trip_report p)
-    | Deps -> deps_text ?pool t p
-    | Check -> Result.map Verify.Check.to_text (check_parts ?pool t base p)
+  let tier = tier_of t artifact in
+  let rkey = render_key t base artifact in
+  let cache_event hit tier_name =
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~cat:"engine"
+        ~attrs:
+          [ ("artifact", Obs.Trace.Str tag);
+            ("hit", Obs.Trace.Bool hit);
+            ("tier", Obs.Trace.Str tier_name) ]
+        "engine.cache"
   in
-  let result =
-    if hit || not (Obs.Trace.enabled ()) then compute ()
+  (* Promoted rendered text exists only when a store is attached; keep
+     the store-less engine byte-for-byte on its historical path. *)
+  let promoted =
+    if t.store = None then None
     else
-      Obs.Trace.with_span ~cat:"engine"
-        ~attrs:[ ("artifact", Obs.Trace.Str tag) ]
-        "engine.compute" compute
+      match Cache.find t.cache rkey with
+      | Some (E_text text) -> Some text
+      | Some (E_pipeline _ | E_part _ | E_unit _) | None -> None
   in
-  if Obs.Trace.enabled () then
-    Obs.Trace.event ~cat:"engine"
-      ~attrs:[ ("artifact", Obs.Trace.Str tag); ("hit", Obs.Trace.Bool hit) ]
-      "engine.cache";
-  result
+  match promoted with
+  | Some text ->
+    Atomic.incr tier.a_mem;
+    cache_event true "memory";
+    Ok text
+  | None -> (
+    let p = pipeline_for t base src in
+    let hit = Pipeline.forced p (final_pass artifact) in
+    let compute () =
+      match artifact with
+      | Classify -> (
+        match ensure_chain ?pool t p classify_chain with
+        | Error e -> Error e
+        | Ok () -> Pipeline.report p)
+      | Trip -> (
+        match ensure_chain ?pool t p trip_chain with
+        | Error e -> Error e
+        | Ok () -> Pipeline.trip_report p)
+      | Deps -> deps_text ?pool t p
+      | Check -> Result.map Verify.Check.to_text (check_parts ?pool t base p)
+    in
+    if hit then begin
+      (* The pipeline already holds every pass the artifact needs;
+         "compute" only re-renders it. *)
+      Atomic.incr tier.a_mem;
+      cache_event true "memory";
+      compute ()
+    end
+    else
+      match store_probe t tag rkey with
+      | Some text ->
+        Atomic.incr tier.a_disk;
+        (* Promote: the next request for this artifact is a memory hit
+           even though no pipeline pass ever ran in this process. *)
+        Cache.add t.cache rkey (E_text text);
+        mark_store_served t base (final_pass artifact);
+        cache_event true "disk";
+        Ok text
+      | None ->
+        let result =
+          if not (Obs.Trace.enabled ()) then compute ()
+          else
+            Obs.Trace.with_span ~cat:"engine"
+              ~attrs:[ ("artifact", Obs.Trace.Str tag) ]
+              "engine.compute" compute
+        in
+        Atomic.incr tier.a_computed;
+        (match result with
+         | Ok text -> store_publish t tag rkey text
+         | Error _ -> ());
+        cache_event false "computed";
+        result)
 
 let classify t src = render t Classify src
 let deps t src = render t Deps src
@@ -408,7 +547,10 @@ let classify_with_outcomes ?pool t src =
    and why. *)
 let diff ?pool t old_src new_src : (string, string) result =
   Metrics.incr (Metrics.counter t.metrics "requests.diff");
-  match render ?pool t Classify old_src with
+  (* Warm OLD through the unit layer directly (not [render]): a disk
+     store could serve OLD's rendered report without ever populating
+     the unit cache, and diff's whole point is unit-level reuse. *)
+  match classify_with_outcomes ?pool t old_src with
   | Error e -> Error e
   | Ok _ -> (
     let old_hex =
@@ -541,7 +683,16 @@ let clear t =
     (fun (_, c) ->
       Atomic.set c.p_hits 0;
       Atomic.set c.p_misses 0)
-    t.counters
+    t.counters;
+  List.iter
+    (fun (_, c) ->
+      Atomic.set c.a_mem 0;
+      Atomic.set c.a_disk 0;
+      Atomic.set c.a_computed 0)
+    t.tiers;
+  Mutex.lock t.prov_lock;
+  Hashtbl.reset t.store_served;
+  Mutex.unlock t.prov_lock
 
 (* -- introspection -- *)
 
@@ -550,21 +701,51 @@ let pass_stats t =
     (fun (p, c) -> (Pipeline.name p, Atomic.get c.p_hits, Atomic.get c.p_misses))
     t.counters
 
+let artifact_stats t =
+  List.map
+    (fun (a, c) ->
+      (a, Atomic.get c.a_mem, Atomic.get c.a_disk, Atomic.get c.a_computed))
+    t.tiers
+
+let rate hits total =
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
 let stats_report t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "cache: %s\n" (Cache.stats_to_string (cache_stats t)));
+  (match t.store with
+   | None -> ()
+   | Some s ->
+     Buffer.add_string buf
+       (Printf.sprintf "store: %s\n"
+          (Store.Disk.stats_to_string (Store.Disk.stats s))));
+  (* Per artifact kind: which tier served it, and the overall hit rate
+     (memory + disk over everything) — the one line that proves a
+     restart started warm. *)
+  List.iter
+    (fun (a, mem, disk, computed) ->
+      let total = mem + disk + computed in
+      if total > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "artifact.%s: mem=%d disk=%d computed=%d hit_rate=%.2f\n"
+             (artifact_to_string a) mem disk computed
+             (rate (mem + disk) total)))
+    (artifact_stats t);
   List.iter
     (fun (name, h, m) ->
       if h + m > 0 then
-        Buffer.add_string buf (Printf.sprintf "pass.%s: hits=%d misses=%d\n" name h m))
+        Buffer.add_string buf
+          (Printf.sprintf "pass.%s: hits=%d misses=%d hit_rate=%.2f\n" name h m
+             (rate h (h + m))))
     (pass_stats t);
   Buffer.add_string buf (Metrics.dump t.metrics);
   Buffer.add_string buf "\n";
   Buffer.contents buf
 
 let passes_report t src =
-  let p = pipeline t src in
+  let base = base_key t src in
+  let p = pipeline_for t base src in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "source %s  (sccp=%b)\n"
@@ -572,8 +753,16 @@ let passes_report t src =
        t.options.use_sccp);
   List.iter
     (fun pass ->
-      let status = if Pipeline.forced p pass then "forced" else "lazy" in
-      let owner = if Pipeline.engine_forced pass then "engine" else "pipeline" in
+      let forced = Pipeline.forced p pass in
+      let status = if forced then "forced" else "lazy" in
+      (* Provenance: [store] when the pass's artifact was satisfied from
+         the disk store and the pass itself never ran here; otherwise
+         who would compute it. *)
+      let owner =
+        if (not forced) && was_store_served t base pass then "store"
+        else if Pipeline.engine_forced pass then "engine"
+        else "pipeline"
+      in
       let digest =
         match Pipeline.digest p pass with
         | Some d -> Digest.to_hex d

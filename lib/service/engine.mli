@@ -38,13 +38,29 @@ val artifact_of_string : string -> artifact option
 
 type t
 
-(** [create ~capacity ~options ()] — [capacity] bounds the cache
-    (default 256 entries: pipelines plus dependence reports). *)
-val create : ?capacity:int -> ?options:options -> unit -> t
+(** [create ~capacity ~options ~store ()] — [capacity] bounds the
+    memory cache (default 256 entries: pipelines plus dependence
+    reports). [store] layers a persistent disk tier under it: rendered
+    artifacts are looked up there when the memory tier misses
+    (promoting the bytes back into the LRU on a hit) and published
+    there after every fresh computation, so a restarted process — or a
+    sibling process sharing the same store — starts warm. Structured
+    values (pipelines, unit artifacts, verify parts) stay memory-only:
+    they embed process-local interned identifiers. See docs/STORE.md. *)
+val create :
+  ?capacity:int -> ?options:options -> ?store:Store.Disk.t -> unit -> t
 
 val options : t -> options
 val metrics : t -> Metrics.t
 val cache_stats : t -> Cache.stats
+
+(** The attached disk store, if any. *)
+val store : t -> Store.Disk.t option
+
+(** Attach ([Some]) or detach ([None]) the disk tier at runtime — the
+    serve-mode [PERSIST] verb. Requests in flight keep whichever store
+    they already probed. *)
+val set_store : t -> Store.Disk.t option -> unit
 
 (** The engine's pipeline instance for [src] (creating an unforced one
     on first sight). Exposed for introspection and tests. *)
@@ -109,12 +125,22 @@ val clear : t -> unit
     a miss means the request ran it. *)
 val pass_stats : t -> (string * int * int) list
 
-(** Cache statistics, per-pass hit/miss lines, and the metrics dump,
-    as text — the [STATS] payload. *)
+(** [(artifact, mem, disk, computed)] per artifact kind: how many
+    {!render} requests were served from the memory tier (LRU hit,
+    including pipeline-level hits), from the disk store, or freshly
+    computed. All zeros until the first render. *)
+val artifact_stats : t -> (artifact * int * int * int) list
+
+(** Cache statistics, the store line (when a store is attached),
+    per-artifact tier counters with hit rates, per-pass hit/miss lines
+    with hit rates, and the metrics dump, as text — the [STATS]
+    payload. *)
 val stats_report : t -> string
 
 (** [passes_report t src] — the pass DAG for [src] (the [ivtool
-    passes] body). Columns: pass, forced/lazy status, owner ([engine]
-    for {!Analysis.Pipeline.engine_forced} passes, [pipeline]
-    otherwise), result digest, inputs. *)
+    passes] body). Columns: pass, forced/lazy status, owner ([store]
+    when the pass's artifact was served from the disk tier and the
+    pass was therefore never run, [engine] for
+    {!Analysis.Pipeline.engine_forced} passes, [pipeline] otherwise),
+    result digest, inputs. *)
 val passes_report : t -> string -> string

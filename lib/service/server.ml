@@ -81,6 +81,26 @@ let handle ?pool engine line =
   | "RESET", None ->
     Engine.clear engine;
     Ok_payload "reset\n"
+  | "PERSIST", None -> (
+    (* Store status: root, live counters, and on-disk usage. *)
+    match Engine.store engine with
+    | None -> Ok_payload "no store attached\n"
+    | Some s ->
+      let entries, bytes = Store.Disk.usage s in
+      Ok_payload
+        (Printf.sprintf "store %s: %s entries=%d bytes=%d\n" (Store.Disk.root s)
+           (Store.Disk.stats_to_string (Store.Disk.stats s))
+           entries bytes))
+  | "PERSIST", Some "off" ->
+    let had = Engine.store engine <> None in
+    Engine.set_store engine None;
+    Ok_payload (if had then "store detached\n" else "no store attached\n")
+  | "PERSIST", Some dir -> (
+    match Store.Disk.open_store ~root:dir () with
+    | Ok s ->
+      Engine.set_store engine (Some s);
+      Ok_payload (Printf.sprintf "store attached %s\n" (Store.Disk.root s))
+    | Error msg -> Err msg)
   | "INVALIDATE", Some path ->
     with_file path (fun src ->
         Ok_payload (Printf.sprintf "invalidated %d\n" (Engine.invalidate engine src)))
@@ -104,6 +124,7 @@ let handle ?pool engine line =
       | "REANALYZE") as cmd),
       None ) ->
     Err (cmd ^ " needs a file argument")
+  (* PERSIST with and without argument are both valid, handled above. *)
   | (("QUIT" | "STATS" | "RESET" | "TRACE") as cmd), Some _ ->
     Err (cmd ^ " takes no argument")
   | cmd, _ -> Err ("unknown command " ^ cmd)

@@ -8,6 +8,7 @@
               | REANALYZE path
               | BATCH artifact path...      (artifact := classify|deps|trip|check)
               | PASSES path | INVALIDATE path | STATS | TRACE | RESET | QUIT
+              | PERSIST [dir | off]
     reply    := "OK " nbytes NL payload     (exactly nbytes bytes)
               | "ERR " message NL
               | "BYE" NL                    (QUIT / end of input)
@@ -21,6 +22,11 @@
     through the unit layer, prepending a unit-reuse summary — with a
     warm cache only the edited loop nests are recomputed (see
     docs/INCREMENTAL.md).
+
+    [PERSIST dir] attaches the persistent disk store at [dir] (creating
+    it if needed) as the engine's second cache tier; [PERSIST off]
+    detaches it; bare [PERSIST] reports the attached store's root, live
+    hit/miss/put counters and on-disk usage (see docs/STORE.md).
 
     Paths are read from the server's filesystem on every request; the
     cache key is the file's {e content}, so touching a file without

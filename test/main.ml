@@ -40,6 +40,7 @@ let () =
       Test_incremental.suite;
       Test_pool.suite;
       Test_server.suite;
+      Test_store.suite;
       Test_trace.suite;
       Test_explain.suite;
       Test_verify.suite;
