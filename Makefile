@@ -1,4 +1,5 @@
-.PHONY: build test check bench bench-smoke bench-b1 bench-b2 trace-demo clean
+.PHONY: build test check bench bench-smoke bench-b1 bench-b2 bench-gate \
+	metrics-demo trace-demo clean
 
 build:
 	dune build
@@ -30,6 +31,21 @@ bench-b1:
 # BENCH_incremental.json — see docs/INCREMENTAL.md).
 bench-b2:
 	dune exec bench/main.exe -- --b2
+
+# The perf gate CI runs: smoke bench, then diff against the checked-in
+# baseline (generous threshold — runners differ; tighten it when
+# comparing two runs from the same machine).
+bench-gate: bench-smoke
+	dune exec bin/ivtool.exe -- bench-diff \
+	  bench/BASELINE_b1_smoke.json BENCH_service.json --threshold 900
+
+# The metrics tour (docs/OBSERVABILITY.md, "Metrics & profiling"):
+# Prometheus exposition of a pooled batch, and a profiled classify.
+metrics-demo:
+	dune exec bin/ivtool.exe -- metrics -j 2 --artifacts all \
+	  examples/programs/*.iv
+	dune exec bin/ivtool.exe -- classify --profile \
+	  examples/programs/fig9_triangular.iv > /dev/null
 
 # The observability tour (docs/OBSERVABILITY.md): traced parallel batch
 # over the example corpus, trace validation, one provenance report.

@@ -624,6 +624,13 @@ type b1_phases = {
   task_us : float;
   queue_us : float;
   compute_us : float;
+  (* GC work inside the workers, summed from the pool.task span
+     attributes ([Obs.Prof] deltas — minor words are exact per domain;
+     see lib/obs/prof.ml). *)
+  gc_minor_words : int;
+  gc_promoted_words : int;
+  gc_minor_gcs : int;
+  gc_major_gcs : int;
 }
 
 let b1_phase_breakdown ?pool ~domains ~engine ~cache items =
@@ -652,6 +659,16 @@ let b1_phase_breakdown ?pool ~domains ~engine ~cache items =
         else acc)
       0.0 spans
   in
+  let task_gc field =
+    List.fold_left
+      (fun acc (s : Obs.Trace.span) ->
+        if s.Obs.Trace.name = "pool.task" then
+          match List.assoc_opt field s.Obs.Trace.attrs with
+          | Some (Obs.Trace.Int v) -> acc + v
+          | _ -> acc
+        else acc)
+      0 spans
+  in
   {
     p_domains = domains;
     p_cache = cache;
@@ -662,6 +679,10 @@ let b1_phase_breakdown ?pool ~domains ~engine ~cache items =
     task_us = sum "pool.task";
     queue_us;
     compute_us = sum "engine.compute";
+    gc_minor_words = task_gc "minor_words";
+    gc_promoted_words = task_gc "promoted_words";
+    gc_minor_gcs = task_gc "minor_gcs";
+    gc_major_gcs = task_gc "major_gcs";
   }
 
 let b1_phase_runs ~domain_counts items =
@@ -701,9 +722,10 @@ let b1_json ~corpus_size runs phases =
   in
   let phase_json p =
     Printf.sprintf
-      "    {\"domains\": %d, \"cache\": \"%s\", \"pool\": %b, \"wall_us\": %.1f, \"spawn_us\": %.1f, \"join_us\": %.1f, \"task_us\": %.1f, \"queue_wait_us\": %.1f, \"compute_us\": %.1f}"
+      "    {\"domains\": %d, \"cache\": \"%s\", \"pool\": %b, \"wall_us\": %.1f, \"spawn_us\": %.1f, \"join_us\": %.1f, \"task_us\": %.1f, \"queue_wait_us\": %.1f, \"compute_us\": %.1f, \"gc_minor_words\": %d, \"gc_promoted_words\": %d, \"gc_minor_gcs\": %d, \"gc_major_gcs\": %d}"
       p.p_domains p.p_cache p.p_pool p.wall_us p.spawn_us p.join_us p.task_us
-      p.queue_us p.compute_us
+      p.queue_us p.compute_us p.gc_minor_words p.gc_promoted_words
+      p.gc_minor_gcs p.gc_major_gcs
   in
   String.concat "\n"
     [
@@ -746,14 +768,17 @@ let experiment_b1 ~smoke () =
          else ""))
     runs;
   let phases = b1_phase_runs ~domain_counts (b1_corpus corpus_size) in
-  print_endline "   per-phase (one traced pass each; times are summed span µs):";
+  print_endline
+    "   per-phase (one traced pass each; times are summed span µs; GC from\n\
+    \   pool.task span attributes — per-domain Obs.Prof deltas):";
   List.iter
     (fun p ->
       Printf.printf
-        "  domains=%d %-4s %-5s wall=%8.0f spawn=%7.0f join=%7.0f task=%8.0f queue=%6.0f compute=%8.0f\n"
+        "  domains=%d %-4s %-5s wall=%8.0f spawn=%7.0f join=%7.0f task=%8.0f queue=%6.0f compute=%8.0f minor_w=%9d prom_w=%7d mGC=%3d MGC=%2d\n"
         p.p_domains p.p_cache
         (if p.p_pool then "pool" else "spawn")
-        p.wall_us p.spawn_us p.join_us p.task_us p.queue_us p.compute_us)
+        p.wall_us p.spawn_us p.join_us p.task_us p.queue_us p.compute_us
+        p.gc_minor_words p.gc_promoted_words p.gc_minor_gcs p.gc_major_gcs)
     phases;
   let json = b1_json ~corpus_size runs phases in
   let oc = open_out "BENCH_service.json" in

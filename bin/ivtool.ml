@@ -19,8 +19,12 @@
 
      ivtool explain FILE [VAR] — per-SCR classification provenance
      ivtool trace-check FILE   — validate a Chrome trace_event file
-     classify/deps/trip/batch take --trace OUT.json / --trace-summary;
-     serve always collects and answers a TRACE verb
+     ivtool metrics FILES...   — Prometheus text exposition of a run
+     ivtool bench-diff OLD NEW — perf-trajectory gate over BENCH json
+     classify/deps/trip/batch/check/gc take --trace OUT.json /
+     --trace-summary; classify/batch/diff add --profile (per-pass
+     wall/alloc/GC table + folded stacks on stderr) and --folded FILE;
+     serve always collects and answers TRACE (and METRICS) verbs
 
    Service mode (lib/service: content-addressed cache + domain pool):
 
@@ -36,8 +40,9 @@
    number of concurrent processes (docs/STORE.md).
 
    Exit codes: 0 success; 1 usage error (unknown subcommand, bad flags,
-   missing input file); 2 parse or analysis error. All diagnostics are
-   routed through one reporter on stderr. *)
+   missing input file); 2 parse or analysis error; 3 bench-diff
+   regression. All diagnostics are routed through one reporter on
+   stderr. *)
 
 (* --- the one error reporter --- *)
 
@@ -97,22 +102,41 @@ let run_check engine src =
       fatal 2 "check failed: %d errors, %d warnings" errs
         (Verify.Check.warnings report)
 
-(* --- tracing plumbing (`--trace`, `--trace-summary`) ---
+(* --- tracing plumbing (`--trace`, `--trace-summary`, `--profile`) ---
 
-   [traced] runs [f] under a fresh ambient collector when either output
+   [traced] runs [f] under a fresh ambient collector when any output
    was requested; the Chrome JSON lands in the given file, the text
    summary (with the engine's metrics appended when available) on
-   stderr. Without either flag the collector stays uninstalled and the
-   instrumentation costs one atomic load per site. *)
+   stderr. [--profile] prints the per-pass wall/alloc/GC table (from
+   the engine's Prof counters) plus flamegraph-ready folded stacks;
+   [--folded FILE] writes just the folded stacks. Without any flag the
+   collector stays uninstalled and the instrumentation costs one atomic
+   load per site. *)
 
-let traced ?instruments ~trace_file ~trace_summary f =
-  if trace_file = None && not trace_summary then f ()
+let traced ?instruments ?(profile = false) ?folded_file ~trace_file
+    ~trace_summary f =
+  if
+    trace_file = None && not trace_summary && not profile && folded_file = None
+  then f ()
   else begin
     let result, t = Obs.Trace.collect f in
     (match trace_file with
      | Some path -> Obs.Export_chrome.write_file path t
      | None -> ());
     if trace_summary then prerr_string (Obs.Export_text.render ?instruments t);
+    (match folded_file with
+     | Some path -> Obs.Export_folded.write_file path t
+     | None -> ());
+    if profile then begin
+      (match instruments with
+       | Some m -> prerr_string (Obs.Prof.phase_table m)
+       | None -> ());
+      let folded = Obs.Export_folded.render t in
+      if folded <> "" then begin
+        prerr_string "folded stacks (self-time us, flamegraph-ready):\n";
+        prerr_string folded
+      end
+    end;
     result
   end
 
@@ -136,11 +160,12 @@ let cmd_ssa file =
 (* classify/deps/trip run through the service engine, so the CLI and
    `ivtool serve` render byte-identical reports from one code path. *)
 
-let cmd_classify no_sccp check trace_file trace_summary file =
+let cmd_classify no_sccp check trace_file trace_summary profile folded file =
   let engine = engine_of ~no_sccp () in
   let src = read_file file in
   render_or_fail
-    (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+    (traced ~instruments:(Service.Engine.metrics engine) ~profile
+       ?folded_file:folded ~trace_file ~trace_summary
        (fun () -> Service.Engine.classify engine src));
   if check then run_check engine src
 
@@ -236,7 +261,8 @@ let cmd_run fuel seed file =
 
 (* --- checked mode: the whole-pipeline verifier (lib/verify) --- *)
 
-let cmd_check no_sccp json iters werror dump_cfg inject file =
+let cmd_check no_sccp json iters werror dump_cfg inject trace_file
+    trace_summary file =
   let src = read_file file in
   match inject with
   | Some kind_name -> (
@@ -269,7 +295,11 @@ let cmd_check no_sccp json iters werror dump_cfg inject file =
       | Ok cfg -> print_endline (Ir.Cfg.to_string cfg)
       | Error msg -> fatal 2 "%s" msg
     end;
-    (match Service.Engine.check engine src with
+    (match
+       traced ~instruments:(Service.Engine.metrics engine) ~trace_file
+         ~trace_summary
+         (fun () -> Service.Engine.check engine src)
+     with
      | Error msg -> fatal 2 "%s" msg
      | Ok report ->
        print_string
@@ -300,7 +330,7 @@ let parse_artifacts spec =
     names
 
 let cmd_batch jobs repeat artifacts timeout cache_size no_sccp check stats
-    store_dir no_store trace_file trace_summary files =
+    store_dir no_store trace_file trace_summary profile folded files =
   let artifacts = parse_artifacts artifacts in
   let engine =
     engine_of ~no_sccp ~cache_size ?store:(store_of ~store_dir ~no_store) ()
@@ -309,12 +339,16 @@ let cmd_batch jobs repeat artifacts timeout cache_size no_sccp check stats
     List.map (fun f -> { Service.Batch.name = f; source = read_file f }) files
   in
   let results =
-    traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+    traced ~instruments:(Service.Engine.metrics engine) ~profile
+      ?folded_file:folded ~trace_file ~trace_summary
       (fun () ->
         (* One resident pool across every --repeat pass: the workers are
            spawned once, not once per pass. *)
         if jobs > 1 then begin
-          let pool = Service.Pool.create ~domains:jobs () in
+          let pool =
+            Service.Pool.create ~domains:jobs
+              ~metrics:(Service.Engine.metrics engine) ()
+          in
           Fun.protect
             ~finally:(fun () -> Service.Pool.shutdown pool)
             (fun () ->
@@ -372,7 +406,10 @@ let cmd_serve jobs cache_size no_sccp store_dir no_store =
      and its record limit bounds memory between drains. *)
   Obs.Trace.install (Obs.Trace.create ());
   if jobs > 1 then begin
-    let pool = Service.Pool.create ~domains:jobs () in
+    let pool =
+      Service.Pool.create ~domains:jobs
+        ~metrics:(Service.Engine.metrics engine) ()
+    in
     Fun.protect
       ~finally:(fun () -> Service.Pool.shutdown pool)
       (fun () -> Service.Server.run ~pool engine stdin stdout)
@@ -381,14 +418,17 @@ let cmd_serve jobs cache_size no_sccp store_dir no_store =
 
 (* --- diff: incremental re-analysis of an edited program --- *)
 
-let cmd_diff jobs no_sccp emit trace_file trace_summary stats store_dir no_store
-    old_file new_file =
+let cmd_diff jobs no_sccp emit trace_file trace_summary profile folded stats
+    store_dir no_store old_file new_file =
   let engine = engine_of ~no_sccp ?store:(store_of ~store_dir ~no_store) () in
   let old_src = read_file old_file in
   let new_src = read_file new_file in
   let with_pool f =
     if jobs > 1 then begin
-      let pool = Service.Pool.create ~domains:jobs () in
+      let pool =
+        Service.Pool.create ~domains:jobs
+          ~metrics:(Service.Engine.metrics engine) ()
+      in
       Fun.protect
         ~finally:(fun () -> Service.Pool.shutdown pool)
         (fun () -> f (Some pool))
@@ -397,7 +437,8 @@ let cmd_diff jobs no_sccp emit trace_file trace_summary stats store_dir no_store
   in
   with_pool @@ fun pool ->
   render_or_fail
-    (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
+    (traced ~instruments:(Service.Engine.metrics engine) ~profile
+       ?folded_file:folded ~trace_file ~trace_summary
        (fun () -> Service.Engine.diff ?pool engine old_src new_src));
   (match emit with
    | None -> ()
@@ -431,16 +472,24 @@ let cmd_passes no_sccp force store_dir no_store file =
 
 (* --- gc: size/age policy over a persistent artifact store --- *)
 
-let cmd_gc store_dir max_age max_mb dry_run =
+let cmd_gc store_dir max_age max_mb dry_run trace_file trace_summary =
   let store =
     match Store.Disk.open_store ~root:store_dir () with
     | Ok s -> s
     | Error msg -> fatal 1 "--store: %s" msg
   in
   let report =
-    Store.Disk.gc ~dry_run ?max_age_s:max_age
-      ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_mb)
-      store ()
+    traced ~trace_file ~trace_summary (fun () ->
+        Obs.Trace.with_span ~cat:"store" "store.gc" (fun () ->
+            let r =
+              Store.Disk.gc ~dry_run ?max_age_s:max_age
+                ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_mb)
+                store ()
+            in
+            Obs.Trace.add_attrs
+              [ ("scanned", Obs.Trace.Int r.Store.Disk.scanned);
+                ("deleted", Obs.Trace.Int r.Store.Disk.deleted) ];
+            r))
   in
   Printf.printf "%s%s\n"
     (if dry_run then "dry run: " else "")
@@ -451,6 +500,61 @@ let cmd_gc store_dir max_age max_mb dry_run =
 let cmd_explain no_sccp var file =
   let engine = engine_of ~no_sccp () in
   render_or_fail (Service.Explain.run ?var engine (read_file file))
+
+(* --- metrics: Prometheus text exposition of a run --- *)
+
+(* Run the requested artifacts over the files (warming the engine and
+   pool telemetry), then print the whole Prometheus exposition —
+   engine tiers, pass counters, phase wall/GC, per-domain pool
+   telemetry — to stdout. With no files, expose the (empty) registry
+   plus the process GC snapshot: a quick way to see the metric
+   families. *)
+let cmd_metrics jobs artifacts no_sccp store_dir no_store files =
+  let artifacts = parse_artifacts artifacts in
+  let engine = engine_of ~no_sccp ?store:(store_of ~store_dir ~no_store) () in
+  let items =
+    List.map (fun f -> { Service.Batch.name = f; source = read_file f }) files
+  in
+  let results =
+    if items = [] then []
+    else if jobs > 1 then begin
+      let pool =
+        Service.Pool.create ~domains:jobs
+          ~metrics:(Service.Engine.metrics engine) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Service.Pool.shutdown pool)
+        (fun () ->
+          Service.Batch.run ~pool ~domains:jobs ~engine ~artifacts items)
+    end
+    else Service.Batch.run ~domains:jobs ~engine ~artifacts items
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun ((item : Service.Batch.item), result) ->
+      match result with
+      | Ok _ -> ()
+      | Error msg ->
+        incr failures;
+        Printf.eprintf "metrics: %s: %s\n" item.Service.Batch.name msg)
+    results;
+  print_string (Service.Engine.prometheus_report engine);
+  if !failures > 0 then
+    fatal 2 "%d of %d files failed" !failures (List.length results)
+
+(* --- bench-diff: the perf-trajectory gate --- *)
+
+let cmd_bench_diff threshold old_file new_file =
+  match
+    Service.Bench_diff.compare ~threshold_pct:threshold
+      ~old_json:(read_file old_file) ~new_json:(read_file new_file)
+  with
+  | Error msg -> fatal 2 "bench-diff: %s" msg
+  | Ok report ->
+    print_string (Service.Bench_diff.to_string report);
+    if report.Service.Bench_diff.regressions > 0 then
+      fatal 3 "bench-diff: %d regression(s) beyond %g%%"
+        report.Service.Bench_diff.regressions threshold
 
 (* --- trace-check: validate a Chrome trace_event file --- *)
 
@@ -483,6 +587,18 @@ let trace_summary_flag =
        & info [ "trace-summary" ]
            ~doc:"Print a sorted per-span timing summary to stderr.")
 
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print a per-pass wall/allocation/GC table and folded stacks \
+                 (flamegraph collapsed format, self-time) to stderr.")
+
+let folded_flag =
+  Arg.(value & opt (some string) None
+       & info [ "folded" ] ~docv:"OUT.folded"
+           ~doc:"Write folded stacks (flamegraph.pl / speedscope input) \
+                 derived from the span tree to $(docv).")
+
 let cache_size_flag =
   Arg.(value & opt int 1024 & info [ "cache-size" ] ~doc:"Artifact cache capacity (entries).")
 
@@ -509,7 +625,7 @@ let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify every loop variable (the paper's algorithm).")
     Term.(const cmd_classify $ no_sccp_flag $ check_flag $ trace_flag
-          $ trace_summary_flag $ file_arg)
+          $ trace_summary_flag $ profile_flag $ folded_flag $ file_arg)
 
 let check_cmd =
   let json =
@@ -543,7 +659,7 @@ let check_cmd =
              every classification differentially against the interpreter, and \
              each transform against the untransformed program.")
     Term.(const cmd_check $ no_sccp_flag $ json $ iters $ werror $ dump_cfg
-          $ inject $ file_arg)
+          $ inject $ trace_flag $ trace_summary_flag $ file_arg)
 
 let deps_cmd =
   Cmd.v
@@ -642,7 +758,8 @@ let batch_cmd =
        ~doc:"Analyze a corpus of programs in parallel through the caching service.")
     Term.(const cmd_batch $ jobs $ repeat $ artifacts $ timeout $ cache_size_flag
           $ no_sccp_flag $ check_flag $ stats $ store_flag $ no_store_flag
-          $ trace_flag $ trace_summary_flag $ files)
+          $ trace_flag $ trace_summary_flag $ profile_flag $ folded_flag
+          $ files)
 
 let serve_cmd =
   let jobs =
@@ -687,8 +804,8 @@ let diff_cmd =
              analysis units (loop nests) were reused and which re-analyzed, \
              and why.")
     Term.(const cmd_diff $ jobs $ no_sccp_flag $ emit $ trace_flag
-          $ trace_summary_flag $ stats $ store_flag $ no_store_flag $ old_file
-          $ new_file)
+          $ trace_summary_flag $ profile_flag $ folded_flag $ stats
+          $ store_flag $ no_store_flag $ old_file $ new_file)
 
 let passes_cmd =
   let force =
@@ -729,7 +846,54 @@ let gc_cmd =
        ~doc:"Apply a size/age retention policy to a persistent artifact store \
              (safe to run while serve/batch processes use it; they recompute \
              evicted entries).")
-    Term.(const cmd_gc $ store_dir $ max_age $ max_mb $ dry_run)
+    Term.(const cmd_gc $ store_dir $ max_age $ max_mb $ dry_run $ trace_flag
+          $ trace_summary_flag)
+
+let metrics_cmd =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (1 = sequential).")
+  in
+  let artifacts =
+    Arg.(value & opt string "classify"
+         & info [ "artifacts" ] ~docv:"LIST"
+             ~doc:"Comma-separated artifacts to warm: classify, deps, trip, \
+                   check, or all.")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILES" ~doc:"Input programs.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Analyze the files through the caching service, then print the \
+             whole metrics registry — engine cache/store tiers, per-pass \
+             hit/miss and wall/GC, per-domain pool telemetry — in Prometheus \
+             text exposition format (0.0.4) on stdout. The serve METRICS verb \
+             returns the same payload.")
+    Term.(const cmd_metrics $ jobs $ artifacts $ no_sccp_flag $ store_flag
+          $ no_store_flag $ files)
+
+let bench_diff_cmd =
+  let threshold =
+    Arg.(value & opt float 10.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Fail when a gated measurement (seconds, files_per_sec, \
+                   speedup) is worse by more than $(docv) percent.")
+  in
+  let old_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD.json" ~doc:"Baseline BENCH_*.json.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW.json" ~doc:"Candidate BENCH_*.json.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench result files row by row with typed deltas \
+             (time, rate, counts); exit 3 when a gated measurement regressed \
+             beyond the threshold. The CI perf-trajectory gate.")
+    Term.(const cmd_bench_diff $ threshold $ old_file $ new_file)
 
 let () =
   let info =
@@ -763,6 +927,8 @@ let () =
       passes_cmd;
       diff_cmd;
       gc_cmd;
+      metrics_cmd;
+      bench_diff_cmd;
     ]
   in
   let exit_code =

@@ -7,21 +7,7 @@
    hierarchy survives even where the viewer's own stack inference (by
    time containment per tid) differs. *)
 
-let buf_add_json_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let buf_add_json_string = Json.escape_to_buffer
 
 let buf_add_attr buf (k, v) =
   buf_add_json_string buf k;
@@ -74,6 +60,28 @@ let event_record buf (e : Trace.event) =
   buf_add_args buf e.Trace.ev_attrs;
   Buffer.add_char buf '}'
 
+(* Perfetto/chrome://tracing label rows by "M" metadata events, not by
+   raw pid/tid numbers: one [process_name] for the whole trace and one
+   [thread_name] per distinct tid (tids are domain ids; 0 is the main
+   domain). Without these, a multi-domain trace renders as anonymous
+   numeric rows. *)
+let metadata_record buf ~name ~tid ~value =
+  Buffer.add_string buf "{\"name\":";
+  buf_add_json_string buf name;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,\"tid\":%d,\"args\":{\"name\":"
+       tid);
+  buf_add_json_string buf value;
+  Buffer.add_string buf "}}"
+
+let thread_label tid = if tid = 0 then "main" else Printf.sprintf "domain-%d" tid
+
+let distinct_tids spans events =
+  let module IS = Set.Make (Int) in
+  let tids = List.fold_left (fun acc (s : Trace.span) -> IS.add s.Trace.tid acc) IS.empty spans in
+  let tids = List.fold_left (fun acc (e : Trace.event) -> IS.add e.Trace.ev_tid acc) tids events in
+  IS.elements tids
+
 let render_parts spans events =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
@@ -81,6 +89,13 @@ let render_parts spans events =
   let sep () =
     if !first then first := false else Buffer.add_string buf ",\n";
   in
+  sep ();
+  metadata_record buf ~name:"process_name" ~tid:0 ~value:"ivtool";
+  List.iter
+    (fun tid ->
+      sep ();
+      metadata_record buf ~name:"thread_name" ~tid ~value:(thread_label tid))
+    (distinct_tids spans events);
   List.iter (fun s -> sep (); span_record buf s) spans;
   List.iter (fun e -> sep (); event_record buf e) events;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";

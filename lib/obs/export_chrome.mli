@@ -4,7 +4,12 @@
     ["ph":"X"] complete events (ts/dur in microseconds), instant events
     as ["ph":"i"]. Load the file in chrome://tracing or
     {{:https://ui.perfetto.dev}Perfetto}. Span and parent ids ride along
-    in [args] so the recorded hierarchy is recoverable exactly. *)
+    in [args] so the recorded hierarchy is recoverable exactly.
+
+    The event stream opens with ["ph":"M"] metadata: a [process_name]
+    record plus one [thread_name] per distinct tid ([main] for tid 0,
+    [domain-N] otherwise), so Perfetto labels multi-domain rows instead
+    of showing anonymous tid numbers. *)
 
 val render : Trace.t -> string
 

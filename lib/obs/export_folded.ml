@@ -1,0 +1,67 @@
+(* Folded-stacks output (Brendan Gregg's flamegraph collapsed format):
+   one line per distinct stack, [frame;frame;frame value], where value
+   is the stack's *self* time in integer microseconds — span duration
+   minus the duration of its direct children, clamped at zero (children
+   recorded on another domain never subtract from a parent's self
+   time, because stacks nest per domain by construction).
+
+   Stacks are rooted at a synthetic [domainN] frame per tid, so a
+   multi-domain trace folds into per-domain towers. Feed the output to
+   flamegraph.pl / speedscope / inferno unchanged. *)
+
+let render_parts spans =
+  let by_sid = Hashtbl.create (List.length spans * 2) in
+  List.iter (fun (s : Trace.span) -> Hashtbl.replace by_sid s.Trace.sid s) spans;
+  (* child durations, summed per parent sid *)
+  let child_ns = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) ->
+      match s.Trace.parent with
+      | None -> ()
+      | Some p ->
+        let d = Int64.sub s.Trace.stop_ns s.Trace.start_ns in
+        let prev =
+          match Hashtbl.find_opt child_ns p with Some v -> v | None -> 0L
+        in
+        Hashtbl.replace child_ns p (Int64.add prev d))
+    spans;
+  let rec path (s : Trace.span) acc =
+    let acc = s.Trace.name :: acc in
+    match s.Trace.parent with
+    | None -> Printf.sprintf "domain%d" s.Trace.tid :: acc
+    | Some p -> (
+      match Hashtbl.find_opt by_sid p with
+      | Some parent -> path parent acc
+      | None -> Printf.sprintf "domain%d" s.Trace.tid :: acc)
+  in
+  let totals = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let dur = Int64.sub s.Trace.stop_ns s.Trace.start_ns in
+      let children =
+        match Hashtbl.find_opt child_ns s.Trace.sid with Some v -> v | None -> 0L
+      in
+      let self = Int64.sub dur children in
+      let self = if Int64.compare self 0L < 0 then 0L else self in
+      let us = int_of_float (Float.round (Clock.ns_to_us self)) in
+      if us > 0 then begin
+        let key = String.concat ";" (path s []) in
+        let prev = match Hashtbl.find_opt totals key with Some v -> v | None -> 0 in
+        Hashtbl.replace totals key (prev + us)
+      end)
+    spans;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, us) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" stack us))
+    rows;
+  Buffer.contents buf
+
+let render t = render_parts (Trace.spans t)
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render t))

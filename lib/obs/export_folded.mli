@@ -1,0 +1,13 @@
+(** Folded-stacks exporter (flamegraph collapsed format).
+
+    One line per distinct span stack — [frame;frame;frame value] —
+    where the value is the stack's *self* time (duration minus direct
+    children) in integer microseconds; zero-self-time stacks are
+    omitted. Each stack is rooted at a synthetic [domainN] frame, so
+    multi-domain traces fold into per-domain towers. Lines sort
+    lexicographically — byte-stable for the same recorded spans, and
+    directly consumable by flamegraph.pl / speedscope / inferno. *)
+
+val render_parts : Trace.span list -> string
+val render : Trace.t -> string
+val write_file : string -> Trace.t -> unit

@@ -1,0 +1,136 @@
+(* Prometheus text exposition format 0.0.4.
+
+   The registry's flat names map onto Prometheus metric families:
+
+   - dots become underscores and everything gets the [iv_] namespace
+     ([pool.task_latency] -> [iv_pool_task_latency_seconds]);
+   - a trailing [{k="v",...}] block produced by [Instrument.labeled] is
+     split off the name and re-emitted as labels;
+   - counters get the [_total] suffix, histograms [_seconds] (all our
+     histograms record seconds) with cumulative [_bucket{le="..."}]
+     lines, [_sum] and [_count]; gauges are bare.
+
+   Rows sharing a family render under one [# TYPE] header; within a
+   family, samples keep the registry's sorted-by-name order, so output
+   is deterministic for the same recorded data. *)
+
+type metric =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { h_count : int; h_sum : float; h_buckets : (float * int) list }
+
+type row = { name : string; help : string option; metric : metric }
+
+let row ?help name metric = { name; help; metric }
+
+(* Split a registry name into (base, label block) — the block, if any,
+   was appended by [Instrument.labeled] and starts at the first '{'. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
+
+let sanitize base =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    base
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Prometheus floats: integers without a fraction part, everything else
+   shortest-round-trip-ish via %.9g (exposition format allows any Go
+   ParseFloat-able rendering). *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let family_name ~namespace name metric =
+  let base, labels = split_labels name in
+  let suffix =
+    match metric with Counter _ -> "_total" | Gauge _ -> "" | Histogram _ -> "_seconds"
+  in
+  (namespace ^ "_" ^ sanitize base ^ suffix, labels)
+
+(* [labels] is "" or "{k=\"v\",...}"; merge in an extra le label. *)
+let with_le labels le =
+  if labels = "" then Printf.sprintf "{le=\"%s\"}" le
+  else Printf.sprintf "%s,le=\"%s\"}" (String.sub labels 0 (String.length labels - 1)) le
+
+let type_of = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let render_rows ?(namespace = "iv") rows =
+  let keyed =
+    List.map
+      (fun r ->
+        let fam, labels = family_name ~namespace r.name r.metric in
+        (fam, labels, r))
+      rows
+  in
+  let keyed =
+    List.stable_sort
+      (fun (fa, la, _) (fb, lb, _) ->
+        match String.compare fa fb with 0 -> String.compare la lb | c -> c)
+      keyed
+  in
+  let buf = Buffer.create 4096 in
+  let current = ref "" in
+  List.iter
+    (fun (fam, labels, r) ->
+      if fam <> !current then begin
+        current := fam;
+        (match r.help with
+         | Some h ->
+           Buffer.add_string buf
+             (Printf.sprintf "# HELP %s %s\n" fam (escape_help h))
+         | None -> ());
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" fam (type_of r.metric))
+      end;
+      match r.metric with
+      | Counter v | Gauge v ->
+        Buffer.add_string buf (Printf.sprintf "%s%s %s\n" fam labels (number v))
+      | Histogram h ->
+        let seen = ref 0 in
+        List.iter
+          (fun (upper, count) ->
+            seen := !seen + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" fam
+                 (with_le labels (number upper))
+                 !seen))
+          h.h_buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" fam (with_le labels "+Inf") h.h_count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" fam labels (number h.h_sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" fam labels h.h_count))
+    keyed;
+  Buffer.contents buf
+
+let of_instruments m =
+  List.map
+    (fun (name, v) ->
+      match (v : Instrument.view) with
+      | Instrument.V_counter c -> row name (Counter (float_of_int c))
+      | Instrument.V_gauge g -> row name (Gauge (float_of_int g))
+      | Instrument.V_histogram { v_count; v_sum; v_buckets; _ } ->
+        row name (Histogram { h_count = v_count; h_sum = v_sum; h_buckets = v_buckets }))
+    (Instrument.snapshot m)
+
+let render ?namespace m = render_rows ?namespace (of_instruments m)

@@ -1,0 +1,36 @@
+(** Prometheus text exposition (format 0.0.4) for an {!Instrument}
+    registry, plus a row type so callers (e.g. [Service.Engine]) can
+    fold in metrics that live outside the registry.
+
+    Name mapping: dots become underscores under the [iv] namespace
+    (override with [?namespace]); a trailing [{k="v",…}] block written
+    by {!Instrument.labeled} is split off and re-emitted as labels;
+    counters get [_total], histograms [_seconds] with cumulative
+    [le]-bucket lines, [_sum] and [_count]; gauges are bare. Output is
+    sorted by family then label block — byte-stable for the same
+    recorded data. *)
+
+type metric =
+  | Counter of float
+  | Gauge of float
+  | Histogram of {
+      h_count : int;
+      h_sum : float;  (** seconds *)
+      h_buckets : (float * int) list;
+          (** (upper edge seconds, per-bucket count), increasing *)
+    }
+
+type row = { name : string; help : string option; metric : metric }
+
+(** [row ?help name metric] — [name] is a registry-style dotted name,
+    optionally with an {!Instrument.labeled} label block. *)
+val row : ?help:string -> string -> metric -> row
+
+(** Every instrument of a registry as rows (sorted by name). *)
+val of_instruments : Instrument.t -> row list
+
+(** Render rows as Prometheus text. *)
+val render_rows : ?namespace:string -> row list -> string
+
+(** [render m] = [render_rows (of_instruments m)]. *)
+val render : ?namespace:string -> Instrument.t -> string

@@ -101,6 +101,34 @@ let time t name f =
   Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
 
 let samples h = locked h.h_lock (fun () -> h.n)
+let sum h = locked h.h_lock (fun () -> h.sum)
+
+(* The {k="v"} block goes at the *end* of the name so exporters can
+   split it back off with a single [String.index] — see Export_prom. *)
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let buf = Buffer.create (String.length name + 16) in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        String.iter
+          (fun c ->
+            match c with
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\n' -> Buffer.add_string buf "\\n"
+            | c -> Buffer.add_char buf c)
+          v;
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
 
 (* Quantiles interpolate nothing: the answer is always one of the two
    exact extremes or a bucket's upper edge clamped into [min, max], so
@@ -161,6 +189,44 @@ let dump t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.map render
   |> String.concat "\n"
+
+(* Point-in-time copies for the exporters: no locks escape, and a
+   histogram's buckets come back as (upper edge in seconds, count)
+   pairs for the populated buckets only. *)
+type view =
+  | V_counter of int
+  | V_gauge of int
+  | V_histogram of {
+      v_count : int;
+      v_sum : float;
+      v_min : float;
+      v_max : float;
+      v_buckets : (float * int) list;
+    }
+
+let view = function
+  | Counter c -> V_counter (count c)
+  | Gauge g -> V_gauge (gauge_value g)
+  | Histogram h ->
+    locked h.h_lock (fun () ->
+        let bs = ref [] in
+        for i = buckets - 1 downto 0 do
+          if h.counts.(i) > 0 then bs := (bucket_upper i, h.counts.(i)) :: !bs
+        done;
+        V_histogram
+          {
+            v_count = h.n;
+            v_sum = h.sum;
+            v_min = h.min_s;
+            v_max = h.max_s;
+            v_buckets = !bs;
+          })
+
+let snapshot t =
+  locked t.lock (fun () ->
+      Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.tbl [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, i) -> (name, view i))
 
 let reset t =
   let instruments =

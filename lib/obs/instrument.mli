@@ -54,6 +54,34 @@ val quantile : histogram -> float -> float option
 (** Mean sample in seconds; [None] when empty. *)
 val mean : histogram -> float option
 
+(** Sum of all samples, in seconds. *)
+val sum : histogram -> float
+
+(** [labeled name [(k, v); …]] renders the conventional
+    [name{k="v",…}] instrument name. Registering under such names is
+    how per-domain / per-pass breakdowns are encoded in the flat
+    registry; {!Export_prom} splits the block back off and re-emits it
+    as Prometheus labels. Values escape backslash, double quote and
+    newline. *)
+val labeled : string -> (string * string) list -> string
+
+(** A point-in-time copy of one instrument: histograms carry their
+    populated log2 buckets as [(upper edge in seconds, count)] pairs in
+    increasing-edge order. *)
+type view =
+  | V_counter of int
+  | V_gauge of int
+  | V_histogram of {
+      v_count : int;
+      v_sum : float;  (** seconds *)
+      v_min : float;
+      v_max : float;
+      v_buckets : (float * int) list;
+    }
+
+(** Every instrument's current value, sorted by name. *)
+val snapshot : t -> (string * view) list
+
 (** Render every instrument, sorted by name: counters as [name value],
     gauges as [name value (gauge)], histograms as
     [name count=… mean=… p50=… p90=… max=…]. Times are integer
@@ -63,3 +91,7 @@ val dump : t -> string
 
 (** Forget every instrument's value (instruments stay registered). *)
 val reset : t -> unit
+
+(** Seconds rendered as integer microseconds, rounded half away from
+    zero — the byte-stable rendering [dump] uses. *)
+val us_string : float -> string

@@ -12,6 +12,32 @@ type t =
 
 exception Parse_error of string
 
+(* The one JSON string-escaping routine in the tree: Export_chrome and
+   the Prometheus/folded exporters' JSON needs all go through here so a
+   single test suite covers them (test_prom). Output includes the
+   surrounding quotes. Bytes >= 0x80 pass through verbatim — strings
+   are treated as opaque byte sequences, which round-trips UTF-8. *)
+let escape_to_buffer buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_to_buffer buf s;
+  Buffer.contents buf
+
 type state = { s : string; mutable pos : int }
 
 let error st msg =

@@ -12,6 +12,16 @@ type t =
 
 exception Parse_error of string
 
+(** [escape_to_buffer buf s] appends [s] as a JSON string literal
+    (including the surrounding quotes): quotes, backslashes, and
+    control characters are escaped; bytes >= 0x80 pass through
+    verbatim, so UTF-8 round-trips. Every JSON string the exporters
+    emit goes through here. *)
+val escape_to_buffer : Buffer.t -> string -> unit
+
+(** [escape s] is {!escape_to_buffer} into a fresh string. *)
+val escape : string -> string
+
 (** Parse a complete JSON document; raises {!Parse_error}. *)
 val parse : string -> t
 

@@ -31,8 +31,8 @@ let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
      advisory only (the pool's own size governs). *)
   let fan_out ~queue_depth f tasks =
     match pool with
-    | Some p -> Pool.run ?timeout_s ~queue_depth p f tasks
-    | None -> Pool.map ?timeout_s ~queue_depth ~domains f tasks
+    | Some p -> Pool.run ?timeout_s ~queue_depth ~metrics p f tasks
+    | None -> Pool.map ?timeout_s ~queue_depth ~metrics ~domains f tasks
   in
   let pool_size = match pool with Some p -> Pool.size p | None -> domains in
   (* A single item cannot use several workers at file granularity; hand
@@ -50,7 +50,7 @@ let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
     | None ->
       if domains <= 1 then use None
       else begin
-        let pl = Pool.create ~domains () in
+        let pl = Pool.create ~domains ~metrics () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pl)
           (fun () -> use (Some pl))

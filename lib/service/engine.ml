@@ -254,7 +254,7 @@ let classify_outcomes ?pool t p : (Pipeline.unit_outcome list, string) result =
   else begin
     Atomic.incr c.p_misses;
     Pool.tick ();
-    Metrics.time t.metrics
+    Obs.Prof.time t.metrics
       (phase_metric Pipeline.Classify)
       (fun () -> classify_units ?pool t p)
   end
@@ -275,7 +275,7 @@ let ensure ?pool t p pass : (unit, string) result =
     else begin
       Atomic.incr c.p_misses;
       Pool.tick ();
-      Metrics.time t.metrics (phase_metric pass) (fun () ->
+      Obs.Prof.time t.metrics (phase_metric pass) (fun () ->
           Pipeline.force p pass)
     end
 
@@ -323,7 +323,7 @@ let deps_text ?pool t p : (string, string) result =
         Cache.find_or_add t.cache (deps_key pd) (fun () ->
             computed := true;
             Pool.tick ();
-            Metrics.time t.metrics "phase.deps" (fun () ->
+            Obs.Prof.time t.metrics "phase.deps" (fun () ->
                 let d = Analysis.Driver.of_analysis a in
                 let g = Dependence.Dep_graph.build d in
                 E_text
@@ -375,7 +375,7 @@ let ensure_part t p pass key compute : Verify.Check.part =
     Cache.find_or_add t.cache key (fun () ->
         computed := true;
         Pool.tick ();
-        Metrics.time t.metrics (phase_metric pass) (fun () -> E_part (compute ())))
+        Obs.Prof.time t.metrics (phase_metric pass) (fun () -> E_part (compute ())))
   in
   if !computed then Atomic.incr c.p_misses else Atomic.incr c.p_hits;
   match entry with
@@ -742,6 +742,84 @@ let stats_report t =
   Buffer.add_string buf (Metrics.dump t.metrics);
   Buffer.add_string buf "\n";
   Buffer.contents buf
+
+(* The Prometheus exposition of everything this engine knows: the
+   engine's own tier/pass accounting (atomics + cache/store structs,
+   which live outside the Instrument registry) rendered as Export_prom
+   rows, a current-process GC snapshot, and then the whole metrics
+   registry (phase timings + GC deltas, pool per-domain telemetry,
+   request counters). Backing for serve [METRICS] and `ivtool
+   metrics`. *)
+let prometheus_report t =
+  let open Obs.Export_prom in
+  let c = float_of_int in
+  let cs = cache_stats t in
+  let cache_rows =
+    [
+      row "cache.hits" (Counter (c cs.Cache.hits)) ~help:"memory LRU lookups served";
+      row "cache.misses" (Counter (c cs.Cache.misses));
+      row "cache.evictions" (Counter (c cs.Cache.evictions));
+      row "cache.insertions" (Counter (c cs.Cache.insertions));
+      row "cache.invalidations" (Counter (c cs.Cache.invalidations));
+      row "cache.size" (Gauge (c cs.Cache.size)) ~help:"entries resident in the memory LRU";
+      row "cache.capacity" (Gauge (c cs.Cache.capacity));
+    ]
+  in
+  let store_rows =
+    match t.store with
+    | None -> []
+    | Some s ->
+      let ss = Store.Disk.stats s in
+      let entries, bytes = Store.Disk.usage s in
+      [
+        row "store.hits" (Counter (c ss.Store.Disk.hits)) ~help:"disk store reads that validated";
+        row "store.misses" (Counter (c ss.Store.Disk.misses));
+        row "store.puts" (Counter (c ss.Store.Disk.puts));
+        row "store.put_errors" (Counter (c ss.Store.Disk.put_errors));
+        row "store.rejects_corrupt" (Counter (c ss.Store.Disk.rejects_corrupt));
+        row "store.rejects_version" (Counter (c ss.Store.Disk.rejects_version));
+        row "store.rejects_foreign" (Counter (c ss.Store.Disk.rejects_foreign));
+        row "store.entries" (Gauge (c entries)) ~help:"entries on disk";
+        row "store.bytes" (Gauge (c bytes)) ~help:"payload bytes on disk";
+      ]
+  in
+  let pass_rows =
+    List.concat_map
+      (fun (name, hits, misses) ->
+        let labels = [ ("pass", name) ] in
+        [
+          row (Metrics.labeled "pass.hits" labels) (Counter (c hits));
+          row (Metrics.labeled "pass.misses" labels) (Counter (c misses));
+        ])
+      (pass_stats t)
+  in
+  let tier_rows =
+    List.concat_map
+      (fun (a, mem, disk, computed) ->
+        let kind = artifact_to_string a in
+        List.map
+          (fun (tier, v) ->
+            row
+              (Metrics.labeled "artifact.served" [ ("artifact", kind); ("tier", tier) ])
+              (Counter (c v)))
+          [ ("mem", mem); ("disk", disk); ("computed", computed) ])
+      (artifact_stats t)
+  in
+  let gc = Obs.Prof.sample () in
+  let gc_rows =
+    [
+      row "gc.process.minor_words" (Counter gc.Obs.Prof.minor_words)
+        ~help:"words allocated on this domain's minor heap since start";
+      row "gc.process.promoted_words" (Counter gc.Obs.Prof.promoted_words);
+      row "gc.process.major_words" (Counter gc.Obs.Prof.major_words);
+      row "gc.process.minor_collections" (Counter (c gc.Obs.Prof.minor_collections));
+      row "gc.process.major_collections" (Counter (c gc.Obs.Prof.major_collections));
+      row "gc.process.heap_words" (Gauge (c gc.Obs.Prof.heap_words));
+    ]
+  in
+  render_rows
+    (cache_rows @ store_rows @ pass_rows @ tier_rows @ gc_rows
+    @ of_instruments t.metrics)
 
 let passes_report t src =
   let base = base_key t src in

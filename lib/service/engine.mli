@@ -137,6 +137,14 @@ val artifact_stats : t -> (artifact * int * int * int) list
     payload. *)
 val stats_report : t -> string
 
+(** Prometheus text-format (0.0.4) exposition of everything the engine
+    knows: cache/store tiers, per-pass hit/miss counters
+    ([iv_pass_hits_total{pass="…"}]), per-artifact tier counters, a
+    current-process GC snapshot, and the whole metrics registry (phase
+    wall/GC, pool per-domain telemetry). Backs serve [METRICS] and
+    `ivtool metrics`. *)
+val prometheus_report : t -> string
+
 (** [passes_report t src] — the pass DAG for [src] (the [ivtool
     passes] body). Columns: pass, forced/lazy status, owner ([store]
     when the pass's artifact was served from the disk tier and the

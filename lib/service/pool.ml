@@ -25,33 +25,82 @@ let run_task ?timeout_s f task =
   Domain.DLS.set deadline None;
   outcome
 
+(* Observe a spawn/join (or any pool-internal) duration into a metrics
+   histogram, when a registry is attached. *)
+let observing metrics name f =
+  match metrics with
+  | None -> f ()
+  | Some m -> Obs.Instrument.time m name f
+
 (* One worker's share of a task array: claim slots off the shared
    atomic index until the queue drains. Shared by the one-shot [map]
-   and the persistent pool below. *)
-let worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid =
+   and the persistent pool below.
+
+   With [?metrics], each worker records per-domain scheduler telemetry
+   under its own domain-id label (registered once per job, then
+   lock-cheap per task): a [pool.tasks{domain=N}] counter,
+   [pool.task_latency{domain=N}] / [pool.queue_wait{domain=N}]
+   histograms, and per-task GC deltas as [pool.gc.*{domain=N}]
+   counters ([Gc.quick_stat] minor-heap counters are domain-local on
+   OCaml 5, so the attribution is exact). When also traced, the same
+   GC delta lands as attributes on the task's [pool.task] span. *)
+let worker_body ?timeout_s ?queue_depth ?metrics ~traced ~results ~next f tasks
+    wid =
   let n = Array.length tasks in
+  let domain_id = (Domain.self () :> int) in
+  let labels = [ ("domain", string_of_int domain_id) ] in
+  let instruments =
+    Option.map
+      (fun m ->
+        ( Obs.Instrument.counter m (Obs.Instrument.labeled "pool.tasks" labels),
+          Obs.Instrument.histogram m
+            (Obs.Instrument.labeled "pool.task_latency" labels),
+          Obs.Instrument.histogram m
+            (Obs.Instrument.labeled "pool.queue_wait" labels) ))
+      metrics
+  in
+  let measured = traced || Option.is_some metrics in
   let work () =
     (* Time between claiming a slot and the previous task finishing is
        the queue wait; with an atomic next-index it is contention only. *)
     let rec loop () =
-      let claim_ns = if traced then Obs.Clock.now_ns () else 0L in
+      let claim_ns = if measured then Obs.Clock.now_ns () else 0L in
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         (match queue_depth with
          | Some g -> g (max 0 (n - i - 1))
          | None -> ());
+        let wait_ns =
+          if measured then Int64.sub (Obs.Clock.now_ns ()) claim_ns else 0L
+        in
+        let exec () =
+          match (metrics, instruments) with
+          | Some m, Some (c_tasks, h_latency, h_wait) ->
+            let before = Obs.Prof.sample () in
+            let t0 = Obs.Clock.now_ns () in
+            Fun.protect
+              ~finally:(fun () ->
+                let d = Obs.Prof.delta before (Obs.Prof.sample ()) in
+                Obs.Instrument.incr c_tasks;
+                Obs.Instrument.observe h_latency
+                  (Obs.Clock.ns_to_us (Int64.sub (Obs.Clock.now_ns ()) t0)
+                  *. 1e-6);
+                Obs.Instrument.observe h_wait
+                  (Obs.Clock.ns_to_us wait_ns *. 1e-6);
+                Obs.Prof.record ~labels m ~prefix:"pool.gc" d;
+                if traced then Obs.Trace.add_attrs (Obs.Prof.attrs d))
+              (fun () -> results.(i) <- run_task ?timeout_s f tasks.(i))
+          | _ -> results.(i) <- run_task ?timeout_s f tasks.(i)
+        in
         (if traced then
            Obs.Trace.with_span ~cat:"pool"
              ~attrs:
                [ ("task", Obs.Trace.Int i);
                  ("worker", Obs.Trace.Int wid);
-                 ( "queue_wait_us",
-                   Obs.Trace.Float
-                     (Obs.Clock.ns_to_us
-                        (Int64.sub (Obs.Clock.now_ns ()) claim_ns)) ) ]
-             "pool.task"
-             (fun () -> results.(i) <- run_task ?timeout_s f tasks.(i))
-         else results.(i) <- run_task ?timeout_s f tasks.(i));
+                 ("queue_wait_us", Obs.Trace.Float (Obs.Clock.ns_to_us wait_ns))
+               ]
+             "pool.task" exec
+         else exec ());
         loop ()
       end
     in
@@ -63,13 +112,14 @@ let worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid =
       "pool.worker" work
   else work ()
 
-let map ?timeout_s ?queue_depth ~domains f tasks =
+let map ?timeout_s ?queue_depth ?metrics ~domains f tasks =
   let n = Array.length tasks in
   let results = Array.make n (Failed "task never ran") in
   let next = Atomic.make 0 in
   let traced = Obs.Trace.enabled () in
   let worker wid () =
-    worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid
+    worker_body ?timeout_s ?queue_depth ?metrics ~traced ~results ~next f tasks
+      wid
   in
   let d = max 1 (min domains n) in
   let body () =
@@ -79,11 +129,14 @@ let map ?timeout_s ?queue_depth ~domains f tasks =
         Obs.Trace.with_span ~cat:"pool"
           ~attrs:[ ("domains", Obs.Trace.Int (d - 1)) ]
           "pool.spawn"
-          (fun () -> List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))))
+          (fun () ->
+            observing metrics "pool.spawn" (fun () ->
+                List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1)))))
       in
       worker 0 ();
       Obs.Trace.with_span ~cat:"pool" "pool.join" (fun () ->
-          List.iter Domain.join spawned)
+          observing metrics "pool.join" (fun () ->
+              List.iter Domain.join spawned))
     end
   in
   if traced then
@@ -93,8 +146,9 @@ let map ?timeout_s ?queue_depth ~domains f tasks =
   else body ();
   results
 
-let map_list ?timeout_s ?queue_depth ~domains f tasks =
-  Array.to_list (map ?timeout_s ?queue_depth ~domains f (Array.of_list tasks))
+let map_list ?timeout_s ?queue_depth ?metrics ~domains f tasks =
+  Array.to_list
+    (map ?timeout_s ?queue_depth ?metrics ~domains f (Array.of_list tasks))
 
 let to_result = function
   | Done x -> Ok x
@@ -125,6 +179,7 @@ type pool = {
   mutable finished : int; (* parked workers done with the current job *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  metrics : Obs.Instrument.t option; (* default registry for [run] *)
 }
 
 let worker_loop pool wid =
@@ -148,7 +203,7 @@ let worker_loop pool wid =
   in
   loop ()
 
-let create ?domains () =
+let create ?domains ?metrics () =
   let size =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -163,6 +218,7 @@ let create ?domains () =
       finished = 0;
       stopped = false;
       workers = [];
+      metrics;
     }
   in
   if size > 1 then
@@ -171,8 +227,9 @@ let create ?domains () =
         ~attrs:[ ("domains", Obs.Trace.Int (size - 1)) ]
         "pool.spawn"
         (fun () ->
-          List.init (size - 1) (fun k ->
-              Domain.spawn (fun () -> worker_loop pool (k + 1))));
+          observing metrics "pool.spawn" (fun () ->
+              List.init (size - 1) (fun k ->
+                  Domain.spawn (fun () -> worker_loop pool (k + 1)))));
   pool
 
 let size pool = pool.size
@@ -186,11 +243,12 @@ let shutdown pool =
   Mutex.unlock pool.lock;
   if (not already) && pool.workers <> [] then
     Obs.Trace.with_span ~cat:"pool" "pool.join" (fun () ->
-        List.iter Domain.join pool.workers);
+        observing pool.metrics "pool.join" (fun () ->
+            List.iter Domain.join pool.workers));
   pool.workers <- [];
   Mutex.unlock pool.job_lock
 
-let run ?timeout_s ?queue_depth pool f tasks =
+let run ?timeout_s ?queue_depth ?metrics pool f tasks =
   let n = Array.length tasks in
   let results = Array.make n (Failed "task never ran") in
   if n = 0 then results
@@ -205,8 +263,12 @@ let run ?timeout_s ?queue_depth pool f tasks =
       (fun () ->
         let next = Atomic.make 0 in
         let traced = Obs.Trace.enabled () in
+        let metrics =
+          match metrics with Some _ -> metrics | None -> pool.metrics
+        in
         let body wid =
-          worker_body ?timeout_s ?queue_depth ~traced ~results ~next f tasks wid
+          worker_body ?timeout_s ?queue_depth ?metrics ~traced ~results ~next f
+            tasks wid
         in
         let run_all () =
           if pool.size <= 1 then body 0
@@ -241,5 +303,6 @@ let run ?timeout_s ?queue_depth pool f tasks =
     results
   end
 
-let run_list ?timeout_s ?queue_depth pool f tasks =
-  Array.to_list (run ?timeout_s ?queue_depth pool f (Array.of_list tasks))
+let run_list ?timeout_s ?queue_depth ?metrics pool f tasks =
+  Array.to_list
+    (run ?timeout_s ?queue_depth ?metrics pool f (Array.of_list tasks))

@@ -26,14 +26,20 @@ type 'b outcome =
     passed. A no-op outside a pool task or when no timeout was set. *)
 val tick : unit -> unit
 
-(** [map ?timeout_s ?queue_depth ~domains f tasks]. [domains] is clamped
-    to [1 .. length tasks]; with [domains = 1] everything runs on the
-    calling domain (no spawn). [queue_depth], when given, is called with
-    the number of not-yet-started tasks each time a worker dequeues —
-    feed it a {!Metrics.gauge}. *)
+(** [map ?timeout_s ?queue_depth ?metrics ~domains f tasks]. [domains]
+    is clamped to [1 .. length tasks]; with [domains = 1] everything
+    runs on the calling domain (no spawn). [queue_depth], when given,
+    is called with the number of not-yet-started tasks each time a
+    worker dequeues — feed it a {!Metrics.gauge}. [metrics], when
+    given, receives per-domain scheduler telemetry: a
+    [pool.tasks{domain=N}] counter, [pool.task_latency{domain=N}] and
+    [pool.queue_wait{domain=N}] histograms, per-task GC deltas as
+    [pool.gc.*{domain=N}] counters, and [pool.spawn]/[pool.join] cost
+    histograms. *)
 val map :
   ?timeout_s:float ->
   ?queue_depth:(int -> unit) ->
+  ?metrics:Obs.Instrument.t ->
   domains:int ->
   ('a -> 'b) ->
   'a array ->
@@ -43,6 +49,7 @@ val map :
 val map_list :
   ?timeout_s:float ->
   ?queue_depth:(int -> unit) ->
+  ?metrics:Obs.Instrument.t ->
   domains:int ->
   ('a -> 'b) ->
   'a list ->
@@ -69,8 +76,10 @@ type pool
 (** [create ~domains ()] spawns [domains - 1] worker domains (the
     submitter is worker 0). [domains] defaults to {!default_domains},
     and is clamped to ≥ 1 ([create ~domains:1] spawns nothing; {!run}
-    then executes on the calling domain). *)
-val create : ?domains:int -> unit -> pool
+    then executes on the calling domain). [metrics] observes the
+    spawn/join cost here and in {!shutdown}, and becomes the default
+    telemetry registry for every {!run} on this pool. *)
+val create : ?domains:int -> ?metrics:Obs.Instrument.t -> unit -> pool
 
 (** Total workers, including the submitting domain. *)
 val size : pool -> int
@@ -78,10 +87,12 @@ val size : pool -> int
 (** [run pool f tasks] — as {!map}, on the pool's resident workers.
     Blocks until every worker has finished the job. Serializes
     concurrent submitters. Raises [Invalid_argument] after
-    {!shutdown}. *)
+    {!shutdown}. [metrics] overrides the pool's registry for this job
+    (see {!map} for what is recorded). *)
 val run :
   ?timeout_s:float ->
   ?queue_depth:(int -> unit) ->
+  ?metrics:Obs.Instrument.t ->
   pool ->
   ('a -> 'b) ->
   'a array ->
@@ -91,6 +102,7 @@ val run :
 val run_list :
   ?timeout_s:float ->
   ?queue_depth:(int -> unit) ->
+  ?metrics:Obs.Instrument.t ->
   pool ->
   ('a -> 'b) ->
   'a list ->

@@ -33,6 +33,7 @@ let handle ?pool engine line =
   | "", None -> Err "empty request"
   | "QUIT", None -> Bye
   | "STATS", None -> Ok_payload (Engine.stats_report engine)
+  | "METRICS", None -> Ok_payload (Engine.prometheus_report engine)
   | "PASSES", Some path ->
     with_file path (fun src -> Ok_payload (Engine.passes_report engine src))
   | "BATCH", Some args -> (
@@ -125,7 +126,7 @@ let handle ?pool engine line =
       None ) ->
     Err (cmd ^ " needs a file argument")
   (* PERSIST with and without argument are both valid, handled above. *)
-  | (("QUIT" | "STATS" | "RESET" | "TRACE") as cmd), Some _ ->
+  | (("QUIT" | "STATS" | "METRICS" | "RESET" | "TRACE") as cmd), Some _ ->
     Err (cmd ^ " takes no argument")
   | cmd, _ -> Err ("unknown command " ^ cmd)
 

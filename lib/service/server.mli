@@ -7,7 +7,7 @@
     COMMAND  := CLASSIFY path | DEPS path | TRIP path | CHECK path
               | REANALYZE path
               | BATCH artifact path...      (artifact := classify|deps|trip|check)
-              | PASSES path | INVALIDATE path | STATS | TRACE | RESET | QUIT
+              | PASSES path | INVALIDATE path | STATS | METRICS | TRACE | RESET | QUIT
               | PERSIST [dir | off]
     reply    := "OK " nbytes NL payload     (exactly nbytes bytes)
               | "ERR " message NL

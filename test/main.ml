@@ -42,6 +42,7 @@ let () =
       Test_server.suite;
       Test_store.suite;
       Test_trace.suite;
+      Test_prom.suite;
       Test_explain.suite;
       Test_verify.suite;
     ]

@@ -49,6 +49,22 @@ let test_stats_and_reset () =
       ignore (payload (Server.handle e "RESET"));
       Alcotest.(check int) "cache emptied" 0 (Engine.cache_stats e).Service.Cache.size)
 
+let test_metrics_verb () =
+  with_temp_program fig1 (fun path ->
+      let e = Engine.create () in
+      ignore (payload (Server.handle e ("CLASSIFY " ^ path)));
+      let text = payload (Server.handle e "METRICS") in
+      Alcotest.(check bool) "prometheus counters" true
+        (Helpers.contains text "# TYPE iv_cache_misses_total counter");
+      Alcotest.(check bool) "per-pass labels" true
+        (Helpers.contains text "iv_pass_misses_total{pass=\"classify\"}");
+      Alcotest.(check bool) "phase histograms" true
+        (Helpers.contains text "iv_phase_parse_seconds_count");
+      Alcotest.(check bool) "takes no argument" true
+        (Helpers.contains
+           (expect_err (Server.handle e "METRICS now"))
+           "takes no argument"))
+
 let test_errors_and_quit () =
   let e = Engine.create () in
   Alcotest.(check bool) "unknown command" true
@@ -110,6 +126,7 @@ let suite =
     [
       Helpers.case "classify round-trip hits cache" test_classify_roundtrip;
       Helpers.case "stats and reset" test_stats_and_reset;
+      Helpers.case "METRICS verb" test_metrics_verb;
       Helpers.case "error replies and quit" test_errors_and_quit;
       Helpers.case "reply framing" test_reply_framing;
       Helpers.case "run loop over channels" test_run_loop_over_channels;

@@ -92,9 +92,11 @@ let test_chrome_roundtrip () =
         Trace.event ~attrs:[ ("n", Trace.Int 1) ] "tick")
   in
   let json = Obs.Export_chrome.render t in
+  (* 2 complete spans + 1 instant + process_name + thread_name metadata
+     (single tid here). *)
   (match Obs.Json.check_trace json with
    | Ok (total, complete) ->
-     Alcotest.(check int) "records" 3 total;
+     Alcotest.(check int) "records" 5 total;
      Alcotest.(check int) "complete spans" 2 complete
    | Error msg -> Alcotest.failf "invalid trace: %s" msg);
   (* The hierarchy survives the export: parent arg = outer's span arg. *)
