@@ -1,5 +1,5 @@
-.PHONY: build test check bench bench-smoke bench-b1 bench-b2 bench-gate \
-	metrics-demo trace-demo clean
+.PHONY: build test check bench bench-smoke bench-b1 bench-b2 bench-b4 \
+	bench-gate metrics-demo trace-demo clean
 
 build:
 	dune build
@@ -17,7 +17,7 @@ check: build
 bench:
 	dune exec bench/main.exe
 
-# One fast pass over the service batch and unit paths (B1 + B2 only).
+# One fast pass over the service batch and unit paths (B1 + B2 + B4).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
@@ -31,6 +31,12 @@ bench-b1:
 # BENCH_incremental.json — see docs/INCREMENTAL.md).
 bench-b2:
 	dune exec bench/main.exe -- --b2
+
+# Range-precision experiment (B4 only; writes BENCH_ranges.json — see
+# docs/RANGES.md). Deterministic counting, no timing: it asserts the
+# corpus-wide precision deltas itself, so there is no bench-diff gate.
+bench-b4:
+	dune exec bench/main.exe -- --b4
 
 # The perf gate CI runs: smoke bench, then diff against the checked-in
 # baseline (generous threshold — runners differ; tighten it when

@@ -80,9 +80,10 @@ let store_of ~store_dir ~no_store =
     | Error msg -> fatal 1 "--store: %s" msg)
   | _ -> None
 
-let engine_of ~no_sccp ?(check_iters = 100) ?(cache_size = 256) ?store () =
+let engine_of ~no_sccp ?(check_iters = 100) ?(cache_size = 256)
+    ?(use_ranges = true) ?store () =
   Service.Engine.create ~capacity:cache_size
-    ~options:{ Service.Engine.use_sccp = not no_sccp; check_iters }
+    ~options:{ Service.Engine.use_sccp = not no_sccp; check_iters; use_ranges }
     ?store ()
 
 let render_or_fail r = match r with Ok s -> print_string s | Error msg -> fatal 2 "%s" msg
@@ -169,11 +170,23 @@ let cmd_classify no_sccp check trace_file trace_summary profile folded file =
        (fun () -> Service.Engine.classify engine src));
   if check then run_check engine src
 
-let cmd_deps trace_file trace_summary file =
-  let engine = engine_of ~no_sccp:false () in
+let cmd_deps no_ranges trace_file trace_summary file =
+  let engine = engine_of ~no_sccp:false ~use_ranges:(not no_ranges) () in
   render_or_fail
     (traced ~instruments:(Service.Engine.metrics engine) ~trace_file ~trace_summary
        (fun () -> Service.Engine.deps engine (read_file file)))
+
+(* --- range: the per-def interval table --- *)
+
+let cmd_range no_sccp json file =
+  let engine = engine_of ~no_sccp () in
+  let src = read_file file in
+  if json then begin
+    match Analysis.Pipeline.ranges (Service.Engine.pipeline engine src) with
+    | Ok r -> print_string (Analysis.Range.to_json r)
+    | Error msg -> fatal 2 "%s" msg
+  end
+  else render_or_fail (Service.Engine.ranges engine src)
 
 let cmd_trip trace_file trace_summary file =
   let engine = engine_of ~no_sccp:false () in
@@ -261,7 +274,7 @@ let cmd_run fuel seed file =
 
 (* --- checked mode: the whole-pipeline verifier (lib/verify) --- *)
 
-let cmd_check no_sccp json iters werror dump_cfg inject trace_file
+let cmd_check no_sccp no_ranges json iters werror dump_cfg inject trace_file
     trace_summary file =
   let src = read_file file in
   match inject with
@@ -289,7 +302,7 @@ let cmd_check no_sccp json iters werror dump_cfg inject trace_file
       then fatal 2 "verification failed as expected (%s)" expected
       else fatal 125 "fault injected but %s was not reported" expected)
   | None ->
-    let engine = engine_of ~no_sccp ~check_iters:iters () in
+    let engine = engine_of ~no_sccp ~check_iters:iters ~use_ranges:(not no_ranges) () in
     if dump_cfg then begin
       match Analysis.Pipeline.lower (Service.Engine.pipeline engine src) with
       | Ok cfg -> print_endline (Ir.Cfg.to_string cfg)
@@ -315,7 +328,7 @@ let cmd_check no_sccp json iters werror dump_cfg inject trace_file
 
 let parse_artifacts spec =
   let names =
-    if spec = "all" then [ "classify"; "deps"; "trip"; "check" ]
+    if spec = "all" then [ "classify"; "deps"; "trip"; "ranges"; "check" ]
     else String.split_on_char ',' spec |> List.map String.trim
          |> List.filter (fun s -> s <> "")
   in
@@ -325,7 +338,8 @@ let parse_artifacts spec =
       match Service.Engine.artifact_of_string name with
       | Some a -> a
       | None ->
-        fatal 1 "unknown artifact %S (expected classify, deps, trip, check or all)"
+        fatal 1
+          "unknown artifact %S (expected classify, deps, trip, ranges, check or all)"
           name)
     names
 
@@ -497,9 +511,9 @@ let cmd_gc store_dir max_age max_mb dry_run trace_file trace_summary =
 
 (* --- explain: classification provenance --- *)
 
-let cmd_explain no_sccp var file =
+let cmd_explain no_sccp json var file =
   let engine = engine_of ~no_sccp () in
-  render_or_fail (Service.Explain.run ?var engine (read_file file))
+  render_or_fail (Service.Explain.run ?var ~json engine (read_file file))
 
 (* --- metrics: Prometheus text exposition of a run --- *)
 
@@ -576,6 +590,13 @@ let simple name doc f =
 
 let no_sccp_flag =
   Arg.(value & flag & info [ "no-sccp" ] ~doc:"Disable constant propagation.")
+
+let no_ranges_flag =
+  Arg.(value & flag
+       & info [ "no-ranges" ]
+           ~doc:"Disable value-range sharpening (dependence tests fall back to \
+                 the classification-only paths; checked mode skips the range \
+                 oracle). The B4 baseline.")
 
 let trace_flag =
   Arg.(value & opt (some string) None
@@ -658,13 +679,26 @@ let check_cmd =
        ~doc:"Verify the whole pipeline over a file: CFG/SSA/looptree structure, \
              every classification differentially against the interpreter, and \
              each transform against the untransformed program.")
-    Term.(const cmd_check $ no_sccp_flag $ json $ iters $ werror $ dump_cfg
-          $ inject $ trace_flag $ trace_summary_flag $ file_arg)
+    Term.(const cmd_check $ no_sccp_flag $ no_ranges_flag $ json $ iters
+          $ werror $ dump_cfg $ inject $ trace_flag $ trace_summary_flag
+          $ file_arg)
 
 let deps_cmd =
   Cmd.v
     (Cmd.info "deps" ~doc:"Dump the data dependence graph.")
-    Term.(const cmd_deps $ trace_flag $ trace_summary_flag $ file_arg)
+    Term.(const cmd_deps $ no_ranges_flag $ trace_flag $ trace_summary_flag
+          $ file_arg)
+
+let range_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the interval table as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "range"
+       ~doc:"Print the value-range analysis: one interval per SSA def \
+             (classification closed forms + SCCP constants, widened fixpoint), \
+             with body-refined intervals below counted exit tests.")
+    Term.(const cmd_range $ no_sccp_flag $ json $ file_arg)
 
 let trip_cmd =
   Cmd.v
@@ -677,11 +711,17 @@ let explain_cmd =
          & info [] ~docv:"VAR"
              ~doc:"Restrict the report to SCRs mentioning this SSA name (e.g. j2).")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object (scrs, ranges, bounds) instead of text.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show, for each strongly-connected region, which classification rule \
-             fired and what every member was classified as.")
-    Term.(const cmd_explain $ no_sccp_flag $ var $ file_arg)
+             fired and what every member was classified as, plus the value ranges \
+             the analysis proved.")
+    Term.(const cmd_explain $ no_sccp_flag $ json $ var $ file_arg)
 
 let trace_check_cmd =
   let file =
@@ -741,7 +781,8 @@ let batch_cmd =
   let artifacts =
     Arg.(value & opt string "classify"
          & info [ "artifacts" ] ~docv:"LIST"
-             ~doc:"Comma-separated artifacts: classify, deps, trip, check, or all.")
+             ~doc:"Comma-separated artifacts: classify, deps, trip, ranges, \
+                   check, or all.")
   in
   let timeout =
     Arg.(value & opt (some float) None
@@ -858,7 +899,7 @@ let metrics_cmd =
     Arg.(value & opt string "classify"
          & info [ "artifacts" ] ~docv:"LIST"
              ~doc:"Comma-separated artifacts to warm: classify, deps, trip, \
-                   check, or all.")
+                   ranges, check, or all.")
   in
   let files =
     Arg.(value & pos_all file [] & info [] ~docv:"FILES" ~doc:"Input programs.")
@@ -908,6 +949,7 @@ let () =
       classify_cmd;
       check_cmd;
       deps_cmd;
+      range_cmd;
       explain_cmd;
       simple "baseline" "Run classical (iterative) IV detection." cmd_baseline;
       simple "sccp" "Run conditional constant propagation." cmd_sccp;

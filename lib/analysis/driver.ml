@@ -109,6 +109,11 @@ and global_class_of_sym t (s : Sym.t) : Ivclass.t =
 
 let analyze ?use_sccp (ssa : Ir.Ssa.t) : t = Pipeline.run ?use_sccp ssa
 
+(* [ranges t] runs the value-range analysis over the (promoted)
+   classification — a fresh computation; cached access goes through the
+   pipeline instance / engine. *)
+let ranges (t : t) : Range.t = Pipeline.range_of t
+
 (* --- reporting --- *)
 
 let namer t : Ivclass.namer = Pipeline.namer_of t

@@ -48,6 +48,10 @@ val resolve_global : t -> Ivclass.t -> Ivclass.t
     feeds conditional-constant-propagation results into initial values. *)
 val analyze : ?use_sccp:bool -> Ir.Ssa.t -> t
 
+(** [ranges t] is the value-range analysis over the promoted
+    classification (fresh each call; the pipeline/engine layer caches). *)
+val ranges : t -> Range.t
+
 val analyze_source : ?use_sccp:bool -> string -> t
 
 (** A namer rendering loop names ("L18") and def atoms ("k2") for the

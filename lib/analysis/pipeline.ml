@@ -18,9 +18,11 @@ type pass =
   | Classify
   | Trip
   | Promote
+  | Ranges
   | Depgraph
   | VerifyIr
   | VerifyClass
+  | VerifyRanges
   | VerifyTrans
 
 let all =
@@ -36,8 +38,10 @@ let all =
     Classify;
     Trip;
     Promote;
+    Ranges;
     Depgraph;
     VerifyClass;
+    VerifyRanges;
     VerifyTrans;
   ]
 
@@ -52,9 +56,11 @@ let name = function
   | Classify -> "classify"
   | Trip -> "trip"
   | Promote -> "promote"
+  | Ranges -> "range"
   | Depgraph -> "depgraph"
   | VerifyIr -> "verify_ir"
   | VerifyClass -> "verify_class"
+  | VerifyRanges -> "verify_ranges"
   | VerifyTrans -> "verify_trans"
 
 let of_name = function
@@ -68,9 +74,11 @@ let of_name = function
   | "classify" -> Some Classify
   | "trip" -> Some Trip
   | "promote" -> Some Promote
+  | "range" -> Some Ranges
   | "depgraph" -> Some Depgraph
   | "verify_ir" -> Some VerifyIr
   | "verify_class" -> Some VerifyClass
+  | "verify_ranges" -> Some VerifyRanges
   | "verify_trans" -> Some VerifyTrans
   | _ -> None
 
@@ -88,9 +96,11 @@ let inputs = function
   | Classify -> [ Looptree; Sccp ]
   | Trip -> [ Classify ]
   | Promote -> [ Classify ]
+  | Ranges -> [ Promote ]
   | Depgraph -> [ Promote ]
   | VerifyIr -> [ Lower; Ssa ]
   | VerifyClass -> [ Promote ]
+  | VerifyRanges -> [ Ranges ]
   | VerifyTrans -> [ Parse; Promote ]
 
 let description = function
@@ -104,9 +114,11 @@ let description = function
   | Classify -> "per-loop IV classification, trip counts, exit values"
   | Trip -> "trip-count report"
   | Promote -> "multiloop promotion (nested IV tuples)"
+  | Ranges -> "per-def value intervals (classification + SCCP seeds, widened fixpoint)"
   | Depgraph -> "dependence graph (service layer)"
   | VerifyIr -> "structural IR verification: CFG, SSA, looptree (service layer)"
   | VerifyClass -> "classification oracle vs the interpreter (service layer)"
+  | VerifyRanges -> "range-interval oracle vs the interpreter (service layer)"
   | VerifyTrans -> "transform validation, structural + differential (service layer)"
 
 (* Passes whose results the pipeline cannot compute itself: the engine
@@ -114,8 +126,11 @@ let description = function
    in lib/verify, and the unit walk needs the engine's shared artifact
    cache) and records completion with [note]. *)
 let engine_forced = function
-  | Depgraph | VerifyIr | VerifyClass | VerifyTrans | Unitclassify -> true
-  | Parse | Lower | Ssa | Looptree | Sccp | Units | Classify | Trip | Promote ->
+  | Depgraph | VerifyIr | VerifyClass | VerifyRanges | VerifyTrans
+  | Unitclassify ->
+    true
+  | Parse | Lower | Ssa | Looptree | Sccp | Units | Classify | Trip | Promote
+  | Ranges ->
     false
 
 (* -- options -- *)
@@ -605,6 +620,7 @@ type t = {
   mutable v_classify : (analysis, string) result option;
   mutable v_trip : (string, string) result option;
   mutable v_promote : (string, string) result option; (* rendered report *)
+  mutable v_range : (Range.t * string, string) result option;
   digests : (pass, Hash.Fnv.t) Hashtbl.t;
 }
 
@@ -623,6 +639,7 @@ let create ?(options = default_options) src =
     v_classify = None;
     v_trip = None;
     v_promote = None;
+    v_range = None;
     digests = Hashtbl.create 11;
   }
 
@@ -831,6 +848,45 @@ let ensure_promote t =
     t.v_promote <- Some v;
     v
 
+(* The range analysis consumes the promoted classification tables; the
+   closures keep [Range] free of a dependency on this module. *)
+let range_of (a : analysis) : Range.t =
+  let loops = Ir.Ssa.loops a.ssa in
+  let cfg = Ir.Ssa.cfg a.ssa in
+  let class_of id =
+    match Ir.Loops.innermost loops (Ir.Cfg.block_of_instr cfg id) with
+    | Some lp -> (
+      match a.by_loop.(lp) with
+      | Some r -> Ir.Instr.Id.Table.find_opt r.table id
+      | None -> None)
+    | None -> None
+    | exception Not_found -> None
+  in
+  let trip_of l = Option.map (fun r -> r.trip) a.by_loop.(l) in
+  Range.compute ?sccp:a.sccp ~class_of ~trip_of a.ssa
+
+let ensure_range t =
+  match t.v_range with
+  | Some v -> v
+  | None ->
+    let v =
+      match ensure_promote t with
+      | Error e -> Error e
+      | Ok _ -> (
+        match t.v_classify with
+        | Some (Ok a) ->
+          let r, text =
+            staged Ranges (fun () ->
+                let r = range_of a in
+                (r, Range.report r))
+          in
+          set_digest t Ranges text;
+          Ok (r, text)
+        | _ -> assert false)
+    in
+    t.v_range <- Some v;
+    v
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
@@ -854,6 +910,8 @@ let promoted t =
 
 let report t = locked t (fun () -> ensure_promote t)
 let units t = locked t (fun () -> ensure_units t)
+let ranges t = locked t (fun () -> Result.map fst (ensure_range t))
+let range_report t = locked t (fun () -> Result.map snd (ensure_range t))
 
 (* The unit-granular classification walk (the Unitclassify pass). The
    engine drives it on a Classify miss: [lookup]/[store] are the shared
@@ -966,8 +1024,9 @@ let force t pass =
       | Classify -> discard (ensure_classify t)
       | Trip -> discard (ensure_trip t)
       | Promote -> discard (ensure_promote t)
+      | Ranges -> discard (ensure_range t)
       | Depgraph -> Error "pass depgraph is forced by the service layer"
-      | Unitclassify | VerifyIr | VerifyClass | VerifyTrans ->
+      | Unitclassify | VerifyIr | VerifyClass | VerifyRanges | VerifyTrans ->
         Error ("pass " ^ name pass ^ " is forced by the service layer"))
 
 let forced t pass =
@@ -982,7 +1041,9 @@ let forced t pass =
       | Classify -> Option.is_some t.v_classify
       | Trip -> Option.is_some t.v_trip
       | Promote -> Option.is_some t.v_promote
-      | (Depgraph | Unitclassify | VerifyIr | VerifyClass | VerifyTrans) as p ->
+      | Ranges -> Option.is_some t.v_range
+      | ( Depgraph | Unitclassify | VerifyIr | VerifyClass | VerifyRanges
+        | VerifyTrans ) as p ->
         Hashtbl.mem t.digests p)
 
 let digest t pass = locked t (fun () -> Hashtbl.find_opt t.digests pass)

@@ -49,6 +49,9 @@ type pass =
           trip counts and exit values (§5.2–5.3) *)
   | Trip  (** per-loop trip-count report (projection of Classify) *)
   | Promote  (** multiloop promotion (§5.3); final classification *)
+  | Ranges
+      (** per-def value intervals: classification closed forms + SCCP
+          constants seed a widened interval fixpoint ({!Range}) *)
   | Depgraph  (** dependence graph (§6) — forced by the service layer *)
   | VerifyIr
       (** structural verification of the lowered CFG, the SSA form and
@@ -56,6 +59,9 @@ type pass =
   | VerifyClass
       (** the classification soundness oracle (differential against the
           interpreter) — forced by the service layer *)
+  | VerifyRanges
+      (** the range-interval oracle: every concrete valuation inside its
+          reported interval — forced by the service layer *)
   | VerifyTrans
       (** transform validation (structural + differential after
           DCE/LICM/strength-reduction/normalize) — forced by the
@@ -177,6 +183,11 @@ val report_of : analysis -> string
 (** The per-loop trip-count report (the [trip] artifact). *)
 val trip_report_of : analysis -> string
 
+(** [range_of a] runs the value-range analysis over a (promoted)
+    analysis record — the [Ranges] pass body, also reachable through
+    [Driver.ranges] for standalone consumers (transform validation). *)
+val range_of : analysis -> Range.t
+
 (* -- the lazy per-source instance -- *)
 
 type t
@@ -218,6 +229,13 @@ val report : t -> (string, string) result
     the syntactic partition could not be mapped onto the loop forest —
     callers fall back to the whole-program walk). *)
 val units : t -> (unit_info list option, string) result
+
+(** The value-range analysis over the promoted classification (forces
+    through [Ranges]). *)
+val ranges : t -> (Range.t, string) result
+
+(** The rendered range table (the [Ranges] digest source). *)
+val range_report : t -> (string, string) result
 
 (** [classify_with_units ?pool_run ~lookup ~store t] satisfies
     [Classify] {e and} [Promote] through the unit layer: probe [lookup]

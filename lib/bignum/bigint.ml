@@ -208,9 +208,12 @@ let mag_divmod a b =
         go (lb - 1)
       end
     in
-    (* Estimate the quotient digit from the top two limbs of rem and the
-       top limb of b, then correct by comparison; the estimate is off by
-       at most a small constant so the correction loop is O(1). *)
+    (* The divisor is not normalized (its top limb may be as small as 1),
+       so the classic top-limb estimate [top2 / b_top] can overshoot the
+       true quotient digit by a factor of up to [base / b_top] — a
+       decrement-by-one correction is O(base) in the worst case, not
+       O(1). Binary-search the exact digit under that upper bound
+       instead: O(base_bits) probes, one limb-multiply each. *)
     let b_top = b.(lb - 1) in
     for i = la - 1 downto 0 do
       rem_push a.(i);
@@ -219,50 +222,51 @@ let mag_divmod a b =
           if !rem_len > lb then ((rem.(lb) lsl base_bits) lor rem.(lb - 1))
           else rem.(lb - 1)
         in
-        let est = Stdlib.min (top2 / b_top) base_mask in
-        let est = Stdlib.max est 1 in
-        (* rem := rem - est * b, correcting est downward if negative. *)
-        let prod = mag_mul_limb b est in
-        let rec subtract est prod =
-          (* Is prod <= rem ? *)
+        (* Is d * b <= rem ? *)
+        let fits d =
+          let prod = mag_mul_limb b d in
           let lp =
             let n = Array.length prod in
             let rec top i = if i > 0 && prod.(i - 1) = 0 then top (i - 1) else i in
             top n
           in
-          let cmp =
-            if lp <> !rem_len then Stdlib.compare lp !rem_len
-            else begin
-              let rec go i =
-                if i < 0 then 0
-                else if prod.(i) <> rem.(i) then Stdlib.compare prod.(i) rem.(i)
-                else go (i - 1)
-              in
-              go (lp - 1)
-            end
-          in
-          if cmp > 0 then subtract (est - 1) (mag_mul_limb b (est - 1))
+          if lp <> !rem_len then lp < !rem_len
           else begin
-            let borrow = ref 0 in
-            for j = 0 to !rem_len - 1 do
-              let pj = if j < Array.length prod then prod.(j) else 0 in
-              let s = rem.(j) - !borrow - pj in
-              if s < 0 then begin
-                rem.(j) <- s + base;
-                borrow := 1
-              end else begin
-                rem.(j) <- s;
-                borrow := 0
-              end
-            done;
-            assert (!borrow = 0);
-            while !rem_len > 0 && rem.(!rem_len - 1) = 0 do
-              decr rem_len
-            done;
-            est
+            let rec go i =
+              if i < 0 then true
+              else if prod.(i) <> rem.(i) then prod.(i) < rem.(i)
+              else go (i - 1)
+            in
+            go (lp - 1)
           end
         in
-        let est = subtract est prod in
+        (* rem >= b, so digit 1 always fits; top2/b_top + 1 bounds it
+           above (and the digit is < base since rem < b * base). *)
+        let lo = ref 1
+        and hi = ref (Stdlib.max 1 (Stdlib.min base_mask ((top2 / b_top) + 1))) in
+        while !lo < !hi do
+          let mid = !lo + ((!hi - !lo + 1) / 2) in
+          if fits mid then lo := mid else hi := mid - 1
+        done;
+        let est = !lo in
+        (* rem := rem - est * b *)
+        let prod = mag_mul_limb b est in
+        let borrow = ref 0 in
+        for j = 0 to !rem_len - 1 do
+          let pj = if j < Array.length prod then prod.(j) else 0 in
+          let s = rem.(j) - !borrow - pj in
+          if s < 0 then begin
+            rem.(j) <- s + base;
+            borrow := 1
+          end else begin
+            rem.(j) <- s;
+            borrow := 0
+          end
+        done;
+        assert (!borrow = 0);
+        while !rem_len > 0 && rem.(!rem_len - 1) = 0 do
+          decr rem_len
+        done;
         (* One final correction upward if rem is still >= b. *)
         let est = ref est in
         while rem_compare_b () >= 0 do

@@ -7,6 +7,8 @@ module Sym = Analysis.Sym
 module Ivclass = Analysis.Ivclass
 module Driver = Analysis.Driver
 module Trip_count = Analysis.Trip_count
+module Range = Analysis.Range
+module Interval = Analysis.Interval
 
 type ref_kind = Read | Write
 
@@ -337,8 +339,28 @@ let drop_all_equal (outcome : Deptest.outcome) : Deptest.outcome =
     Deptest.Independent
   | o -> o
 
+(* Range-analysis pre-test: two subscript positions whose use-site value
+   intervals never overlap can never index the same cell through this
+   dimension — the pair is independent before any equation is built.
+   Sound because [Range.interval_at] bounds every value the def computes
+   over the whole execution (use-site refined below a counted exit
+   test). *)
+let range_disjoint ranges (src : array_ref) (dst : array_ref) dim : bool =
+  match ranges with
+  | None -> false
+  | Some r -> (
+    match
+      (List.nth src.subscript_defs dim, List.nth dst.subscript_defs dim)
+    with
+    | Some d1, Some d2 when not (Ir.Instr.Id.equal d1 d2) ->
+      let i1 = Range.interval_at r ~block:src.block d1
+      and i2 = Range.interval_at r ~block:dst.block d2 in
+      Interval.meet i1 i2 = None
+    | _ -> false)
+
 (* One directed edge, or [None] when disproved. *)
-let directed_edge_untraced ~bounds (src : array_ref) (dst : array_ref) : edge option =
+let directed_edge_untraced ?ranges ~bounds (src : array_ref) (dst : array_ref) :
+    edge option =
   let kind =
     match (src.kind, dst.kind) with
     | Write, Read -> Flow
@@ -348,12 +370,24 @@ let directed_edge_untraced ~bounds (src : array_ref) (dst : array_ref) : edge op
   in
   let common = common_loops src dst in
   let ndims = Stdlib.min (List.length src.subscripts) (List.length dst.subscripts) in
+  let sym_range =
+    Option.map
+      (fun r s ->
+        match Range.sym_interval r s with
+        | Some iv when not (Interval.is_top iv) ->
+          Some (Interval.lo iv, Interval.hi iv)
+        | _ -> None)
+      ranges
+  in
   let outcomes =
     List.init ndims (fun i ->
-        Deptest.test ~bounds ~common
-          ?src_def:(List.nth src.subscript_defs i)
-          ?dst_def:(List.nth dst.subscript_defs i)
-          (List.nth src.subscripts i) (List.nth dst.subscripts i))
+        if range_disjoint ranges src dst i then Deptest.Independent
+        else
+          Deptest.test ~bounds ~common
+            ?src_def:(List.nth src.subscript_defs i)
+            ?dst_def:(List.nth dst.subscript_defs i)
+            ?sym_range
+            (List.nth src.subscripts i) (List.nth dst.subscripts i))
   in
   let self = src.instr = dst.instr in
   let outcome =
@@ -368,8 +402,10 @@ let directed_edge_untraced ~bounds (src : array_ref) (dst : array_ref) : edge op
 
 let ref_kind_string = function Read -> "read" | Write -> "write"
 
-let directed_edge ~bounds (src : array_ref) (dst : array_ref) : edge option =
-  if not (Obs.Trace.enabled ()) then directed_edge_untraced ~bounds src dst
+let directed_edge ?ranges ~bounds (src : array_ref) (dst : array_ref) :
+    edge option =
+  if not (Obs.Trace.enabled ()) then
+    directed_edge_untraced ?ranges ~bounds src dst
   else
     Obs.Trace.with_span ~cat:"deptest"
       ~attrs:
@@ -378,7 +414,7 @@ let directed_edge ~bounds (src : array_ref) (dst : array_ref) : edge option =
           ("dst", Obs.Trace.Str (ref_kind_string dst.kind)) ]
       "deptest.pair"
       (fun () ->
-        let e = directed_edge_untraced ~bounds src dst in
+        let e = directed_edge_untraced ?ranges ~bounds src dst in
         Obs.Trace.add_attrs
           [ ( "outcome",
               Obs.Trace.Str
@@ -390,7 +426,7 @@ let directed_edge ~bounds (src : array_ref) (dst : array_ref) : edge option =
 (* [build ?include_input t] is the dependence graph of the program: both
    directions of every same-array pair with at least one write are
    tested, and only surviving (possibly conservative) edges are kept. *)
-let build ?(include_input = false) (t : Driver.t) : edge list =
+let build ?(include_input = false) ?ranges (t : Driver.t) : edge list =
   Obs.Trace.with_span ~cat:"deptest" "deptest.build" @@ fun () ->
   let refs = List.map (refine_ref_strictness t) (collect_refs t) in
   (* Iteration-count bounds for the Banerjee tests: an exact count when
@@ -410,7 +446,7 @@ let build ?(include_input = false) (t : Driver.t) : edge list =
          self-edge is how the §5.4 strict-region rule shows C(k2)'s
          cells are written at most once. *)
       if r1.kind = Write then begin
-        match directed_edge ~bounds r1 r1 with
+        match directed_edge ?ranges ~bounds r1 r1 with
         | Some e -> edges := e :: !edges
         | None -> ()
       end;
@@ -419,10 +455,10 @@ let build ?(include_input = false) (t : Driver.t) : edge list =
           if Ir.Ident.equal r1.array r2.array
              && (r1.kind = Write || r2.kind = Write || include_input)
           then begin
-            (match directed_edge ~bounds r1 r2 with
+            (match directed_edge ?ranges ~bounds r1 r2 with
              | Some e -> edges := e :: !edges
              | None -> ());
-            match directed_edge ~bounds r2 r1 with
+            match directed_edge ?ranges ~bounds r2 r1 with
             | Some e -> edges := e :: !edges
             | None -> ()
           end)

@@ -49,8 +49,13 @@ val strict_region : Driver.t -> int -> int -> Ir.Label.Set.t
 (** [build t] is the dependence graph: both directions of every
     same-array pair with at least one write, plus self-output edges for
     writes; subscript strictness is refined by {!strict_region} first.
-    Input (read-read) pairs are included only on request. *)
-val build : ?include_input:bool -> Driver.t -> edge list
+    Input (read-read) pairs are included only on request. [ranges]
+    sharpens the tests two ways: subscript positions with disjoint
+    use-site value intervals are independent outright, and symbolic
+    constant differences are bounded through [Range.sym_interval] so the
+    interval Banerjee path can run where coefficients are symbolic. *)
+val build :
+  ?include_input:bool -> ?ranges:Analysis.Range.t -> Driver.t -> edge list
 
 (** [direction_vectors_of ~bounds e] intersects per-dimension direction
     vector enumerations, when every dimension is affine and decidable. *)

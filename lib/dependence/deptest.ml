@@ -19,6 +19,7 @@
 
 module Sym = Analysis.Sym
 module Ivclass = Analysis.Ivclass
+module Extint = Analysis.Extint
 open Bignum
 
 (* A feasible set of simple directions between source and sink iteration
@@ -98,6 +99,30 @@ let equation (src : Affine.t) (dst : Affine.t) =
        symbol the equation cannot be decided here. *)
     None
 
+(* Like [equation] but the constant difference is kept symbolic; the
+   per-loop coefficients must still be integer constants. This is the
+   entry point for range sharpening: a caller holding value intervals
+   can bound the symbolic constant even when SCCP cannot fold it. *)
+let interval_equation (src : Affine.t) (dst : Affine.t) =
+  let loops =
+    List.sort_uniq Stdlib.compare (Affine.loops src @ Affine.loops dst)
+  in
+  let terms =
+    List.map
+      (fun l ->
+        match
+          ( const_int_of_sym (Affine.coeff src l),
+            const_int_of_sym (Affine.coeff dst l) )
+        with
+        | Some a, Some b -> Some { loop = l; a; b }
+        | _ -> None)
+      loops
+  in
+  if List.for_all Option.is_some terms then
+    Some
+      (List.filter_map Fun.id terms, Sym.sub dst.Affine.const src.Affine.const)
+  else None
+
 let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
 
 (* GCD test: an integer solution requires gcd of the coefficients to
@@ -170,6 +195,84 @@ let feasible ~bounds terms dirs c =
     match sum zero zero terms with
     | None -> false
     | Some (lo, hi) -> le lo (Fin c) && le (Fin c) hi
+  end
+
+(* --- range-sharpened feasibility: the constant is an interval --- *)
+
+(* Does the non-empty extended interval [lo, hi] contain a multiple of
+   [g] (g > 0)? Unbounded on either side: always (multiples are
+   unbounded both ways). *)
+let multiple_in g lo hi =
+  let open Extint in
+  le lo hi
+  &&
+  match (lo, hi) with
+  | Neg_inf, _ | _, Pos_inf -> true
+  | Fin lo, Fin hi ->
+    (* Largest multiple of g that is <= hi (floor division). *)
+    let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+    fdiv hi g * g >= lo
+  | Pos_inf, _ | _, Neg_inf -> false
+
+(* Feasibility under a direction assignment when the constant is only
+   known to lie in [crange]: a dependence needs some c in the interval
+   that the term sum can reach (gcd-compatible multiples only). *)
+let interval_feasible ~bounds ~(crange : Extint.t * Extint.t) terms dirs =
+  let open Extint in
+  let rec sum lo hi = function
+    | [] -> Some (lo, hi)
+    | t :: rest -> (
+      let dir = Option.value ~default:`Any (List.assoc_opt t.loop dirs) in
+      match term_bounds ~u:(bounds t.loop) ~dir t.a t.b with
+      | None -> None
+      | Some (tlo, thi) -> sum (add lo tlo) (add hi thi) rest)
+  in
+  match sum zero zero terms with
+  | None -> false
+  | Some (slo, shi) ->
+    let clo, chi = crange in
+    let lo = max slo clo and hi = min shi chi in
+    if not (le lo hi) then false
+    else begin
+      let g =
+        List.fold_left
+          (fun g t ->
+            match List.assoc_opt t.loop dirs with
+            | Some `Eq -> gcd g (t.a - t.b)
+            | _ -> gcd (gcd g t.a) t.b)
+          0 terms
+      in
+      if g = 0 then le lo zero && le zero hi else multiple_in g lo hi
+    end
+
+(* [interval_affine_test] mirrors [affine_test]'s steady-state path for
+   an interval-valued constant: prove independence when no value in the
+   interval admits a solution, otherwise refine directions. Distances
+   stay unknown (the constant is not a single value). *)
+let interval_affine_test ~bounds ~common ~crange terms : outcome =
+  if not (interval_feasible ~bounds ~crange terms []) then Independent
+  else begin
+    let directions =
+      List.map
+        (fun l ->
+          let try_dir d = interval_feasible ~bounds ~crange terms [ (l, d) ] in
+          (l, { lt = try_dir `Lt; eq = try_dir `Eq; gt = try_dir `Gt }))
+        common
+    in
+    if List.exists (fun (_, d) -> dirset_is_empty d) directions then Independent
+    else
+      Dependent
+        {
+          directions;
+          distance = None;
+          holds_after = 0;
+          exact = false;
+          note =
+            Some
+              (Printf.sprintf "symbolic constant bounded to [%s, %s]"
+                 (Extint.to_string (fst crange))
+                 (Extint.to_string (snd crange)));
+        }
   end
 
 (* --- hierarchical direction-vector enumeration [WB87] --- *)
@@ -400,9 +503,12 @@ let initial_dirs ~(bounds : int -> int option) ~(wrap_side : Affine.t)
 let dirset_union a b = { lt = a.lt || b.lt; eq = a.eq || b.eq; gt = a.gt || b.gt }
 
 (* [affine_test ~bounds ~common src dst] runs the full test between two
-   affine subscripts. *)
-let affine_test ~(bounds : int -> int option) ~(common : int list) (src : Affine.t)
-    (dst : Affine.t) : outcome =
+   affine subscripts. [sym_range] bounds a symbolic expression to an
+   interval (from `Analysis.Range`); it rescues the equation when only
+   the constant difference is symbolic. *)
+let affine_test ~(bounds : int -> int option) ~(common : int list)
+    ?(sym_range : (Sym.t -> (Extint.t * Extint.t) option) option)
+    (src : Affine.t) (dst : Affine.t) : outcome =
   let holds_after = Stdlib.max src.Affine.holds_after dst.Affine.holds_after in
   (* Dependences through the wrap-around initial iterations, analyzed
      separately from the steady-state equation. [None]: unanalyzable,
@@ -483,7 +589,24 @@ let affine_test ~(bounds : int -> int option) ~(common : int list) (src : Affine
           })
   in
   match equation src dst with
-  | None -> maybe ~note:"symbolic coefficients; assumed dependent" common
+  | None -> (
+    (* Range sharpening: constant coefficients but a symbolic constant
+       difference — bound it to an interval and test every value. Kept
+       away from wrap-arounds (their initial iterations need the exact
+       constant). *)
+    let fallback () =
+      maybe ~note:"symbolic coefficients; assumed dependent" common
+    in
+    match sym_range with
+    | Some range
+      when src.Affine.holds_after = 0 && dst.Affine.holds_after = 0 -> (
+      match interval_equation src dst with
+      | Some (terms, csym) -> (
+        match range csym with
+        | Some crange -> interval_affine_test ~bounds ~common ~crange terms
+        | None -> fallback ())
+      | None -> fallback ())
+    | _ -> fallback ())
   | Some (terms, c) ->
     if not (feasible ~bounds terms [] c) then widen_with_initials Independent
     else begin
@@ -653,6 +776,7 @@ let rec strip_wrap = function
    (used to recognize same-def monotonic pairs). *)
 let test ~(bounds : int -> int option) ~(common : int list)
     ?(src_def : Ir.Instr.Id.t option) ?(dst_def : Ir.Instr.Id.t option)
+    ?(sym_range : (Sym.t -> (Extint.t * Extint.t) option) option)
     (src_class : Ivclass.t) (dst_class : Ivclass.t) : outcome =
   let src_c, o1 = strip_wrap src_class in
   let dst_c, o2 = strip_wrap dst_class in
@@ -664,7 +788,7 @@ let test ~(bounds : int -> int option) ~(common : int list)
     | o -> o
   in
   match (Affine.of_class src_class, Affine.of_class dst_class) with
-  | Some a, Some b -> affine_test ~bounds ~common a b
+  | Some a, Some b -> affine_test ~bounds ~common ?sym_range a b
   | _ -> (
     match (src_c, dst_c) with
     | Ivclass.Periodic p, Ivclass.Periodic q ->

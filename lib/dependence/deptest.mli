@@ -5,6 +5,7 @@
 
 module Sym = Analysis.Sym
 module Ivclass = Analysis.Ivclass
+module Extint = Analysis.Extint
 
 (** Feasible directions between source and sink iteration numbers
     (source R sink). *)
@@ -32,8 +33,18 @@ type outcome = Independent | Dependent of dependence
 val maybe : ?note:string -> int list -> outcome
 
 (** [affine_test ~bounds ~common src dst] tests two affine subscripts;
-    [bounds l] is loop [l]'s iteration count when known. *)
-val affine_test : bounds:(int -> int option) -> common:int list -> Affine.t -> Affine.t -> outcome
+    [bounds l] is loop [l]'s iteration count when known. [sym_range]
+    bounds a symbolic expression to an interval (see [Analysis.Range]);
+    when only the constant difference of the dependence equation is
+    symbolic, its interval is intersected with the Banerjee bounds —
+    an empty gcd-compatible intersection proves independence. *)
+val affine_test :
+  bounds:(int -> int option) ->
+  common:int list ->
+  ?sym_range:(Sym.t -> (Extint.t * Extint.t) option) ->
+  Affine.t ->
+  Affine.t ->
+  outcome
 
 type simple_dir = [ `Lt | `Eq | `Gt ]
 
@@ -67,6 +78,7 @@ val test :
   common:int list ->
   ?src_def:Ir.Instr.Id.t ->
   ?dst_def:Ir.Instr.Id.t ->
+  ?sym_range:(Sym.t -> (Extint.t * Extint.t) option) ->
   Ivclass.t ->
   Ivclass.t ->
   outcome

@@ -34,7 +34,11 @@ and for_loop = {
   body : stmt list;
 }
 
-type program = { stmts : stmt list }
+(* A declared array extent: per-dimension inclusive bounds. A bare
+   extent "n" in the concrete syntax means 1..n. *)
+type decl = { array : Ident.t; dims : (int * int) list }
+
+type program = { decls : decl list; stmts : stmt list }
 
 let rec pp_expr fmt = function
   | Int n -> Format.pp_print_int fmt n
@@ -81,7 +85,24 @@ let rec pp_stmt fmt = function
 and pp_stmts fmt stmts =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt stmts
 
-let pp_program fmt { stmts } = Format.fprintf fmt "@[<v>%a@]" pp_stmts stmts
+let pp_dim fmt (lo, hi) =
+  if lo = 1 then Format.pp_print_int fmt hi
+  else Format.fprintf fmt "%d:%d" lo hi
+
+let pp_decl fmt { array; dims } =
+  Format.fprintf fmt "@[<h>array %a(%a)@]" Ident.pp array
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_dim)
+    dims
+
+let pp_program fmt { decls; stmts } =
+  match decls with
+  | [] -> Format.fprintf fmt "@[<v>%a@]" pp_stmts stmts
+  | _ ->
+    Format.fprintf fmt "@[<v>%a@,%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+      decls pp_stmts stmts
 
 let to_string p = Format.asprintf "%a" pp_program p
 
@@ -97,3 +118,6 @@ let astore name idx e = Astore (Ident.of_string name, idx, e)
 
 let for_ name var lo hi ?(step = 1) body =
   For { name; var = Ident.of_string var; lo; hi; step; body }
+
+let decl name dims = { array = Ident.of_string name; dims }
+let program ?(decls = []) stmts = { decls; stmts }

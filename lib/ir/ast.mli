@@ -31,12 +31,18 @@ and for_loop = {
   body : stmt list;
 }
 
-type program = { stmts : stmt list }
+type decl = { array : Ident.t; dims : (int * int) list }
+(** A declared array: one inclusive [(lo, hi)] bound per dimension.
+    Declarations are optional — undeclared arrays are unbounded, and
+    bounds-check elimination only reasons about declared ones. *)
+
+type program = { decls : decl list; stmts : stmt list }
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_cond : Format.formatter -> cond -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp_stmts : Format.formatter -> stmt list -> unit
+val pp_decl : Format.formatter -> decl -> unit
 val pp_program : Format.formatter -> program -> unit
 
 (** [to_string p] pretty-prints in the concrete syntax accepted by
@@ -57,3 +63,6 @@ val assign : string -> expr -> stmt
 val aref : string -> expr list -> expr
 val astore : string -> expr list -> expr -> stmt
 val for_ : string -> string -> expr -> expr -> ?step:int -> stmt list -> stmt
+
+val decl : string -> (int * int) list -> decl
+val program : ?decls:decl list -> stmt list -> program

@@ -14,6 +14,7 @@ type token =
   | KW_ELSE
   | KW_ENDIF
   | KW_EXIT
+  | KW_ARRAY
   | PLUS
   | MINUS
   | STAR
@@ -52,6 +53,7 @@ let token_to_string = function
   | KW_ELSE -> "else"
   | KW_ENDIF -> "endif"
   | KW_EXIT -> "exit"
+  | KW_ARRAY -> "array"
   | PLUS -> "+"
   | MINUS -> "-"
   | STAR -> "*"
@@ -82,6 +84,7 @@ let keyword_of_string = function
   | "else" -> Some KW_ELSE
   | "endif" -> Some KW_ENDIF
   | "exit" -> Some KW_EXIT
+  | "array" -> Some KW_ARRAY
   | _ -> None
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

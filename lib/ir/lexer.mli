@@ -16,6 +16,7 @@ type token =
   | KW_ELSE
   | KW_ENDIF
   | KW_EXIT
+  | KW_ARRAY
   | PLUS
   | MINUS
   | STAR

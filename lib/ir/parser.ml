@@ -3,7 +3,9 @@
    Grammar (labels on loops are optional; unlabeled loops get L1, L2, ...
    in source order):
 
-     program  ::= stmt*
+     program  ::= decl* stmt*
+     decl     ::= 'array' IDENT '(' extent (',' extent)* ')'
+     extent   ::= ['-'] INT [':' ['-'] INT]      (a bare "n" means 1:n)
      stmt     ::= [IDENT ':'] loopstmt | simple
      loopstmt ::= 'loop' stmt* 'endloop'
                |  'for' IDENT '=' expr 'to' expr ['by' ['-'] INT] 'loop'
@@ -278,13 +280,67 @@ and parse_labeled_loop st next_label label =
 
 (* [parse src] parses a whole program.
    @raise Lexer.Lex_error or Parse_error on malformed input. *)
+(* One inclusive extent: INT, -INT, INT:INT, ... A bare "n" is 1:n. *)
+let parse_extent st =
+  let parse_int () =
+    let sign =
+      match (peek st).token with
+      | Lexer.MINUS ->
+        advance st;
+        -1
+      | _ -> 1
+    in
+    match (peek st).token with
+    | Lexer.INT n ->
+      advance st;
+      sign * n
+    | t ->
+      error st
+        (Printf.sprintf "expected integer extent, found '%s'"
+           (Lexer.token_to_string t))
+  in
+  let a = parse_int () in
+  match (peek st).token with
+  | Lexer.COLON ->
+    advance st;
+    let b = parse_int () in
+    if a > b then error st (Printf.sprintf "empty extent %d:%d" a b);
+    (a, b)
+  | _ ->
+    if a < 1 then error st (Printf.sprintf "empty extent 1:%d" a);
+    (1, a)
+
+let parse_decl st =
+  expect st Lexer.KW_ARRAY;
+  let name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let rec dims () =
+    let d = parse_extent st in
+    match (peek st).token with
+    | Lexer.COMMA ->
+      advance st;
+      d :: dims ()
+    | _ -> [ d ]
+  in
+  let dims = dims () in
+  expect st Lexer.RPAREN;
+  { Ast.array = Ident.of_string name; dims }
+
+let rec parse_decls st =
+  match (peek st).token with
+  | Lexer.KW_ARRAY ->
+    let d = parse_decl st in
+    d :: parse_decls st
+  | _ -> []
+
 let parse src =
   let st = { toks = Lexer.tokenize src } in
   let counter = ref 0 in
   let next_label = fresh_label counter in
+  let decls = parse_decls st in
   let stmts = parse_stmts st next_label in
   expect st Lexer.EOF;
-  { Ast.stmts }
+  { Ast.decls; stmts }
 
 let parse_exn = parse
 

@@ -162,7 +162,9 @@ let partition (p : Ast.program) : unit_ list =
 (* The unit's slice of the source, in the parser's canonical rendering
    (parse–print–parse stable), so two textually different but
    structurally identical slices digest equally. *)
-let source_slice u = Ast.to_string { Ast.stmts = u.stmts }
+(* Unit digests exclude declarations: they never affect a nest's
+   classification. *)
+let source_slice u = Ast.to_string { Ast.decls = []; stmts = u.stmts }
 
 let pp fmt u =
   Format.fprintf fmt "unit %d %-8s stmts %d-%d loops=%d" u.index

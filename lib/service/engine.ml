@@ -11,23 +11,25 @@
 
 module Pipeline = Analysis.Pipeline
 
-type options = { use_sccp : bool; check_iters : int }
+type options = { use_sccp : bool; check_iters : int; use_ranges : bool }
 
-let default_options = { use_sccp = true; check_iters = 100 }
+let default_options = { use_sccp = true; check_iters = 100; use_ranges = true }
 
-type artifact = Classify | Deps | Trip | Check
+type artifact = Classify | Deps | Trip | Check | Ranges
 
 let artifact_to_string = function
   | Classify -> "classify"
   | Deps -> "deps"
   | Trip -> "trip"
   | Check -> "check"
+  | Ranges -> "ranges"
 
 let artifact_of_string = function
   | "classify" -> Some Classify
   | "deps" -> Some Deps
   | "trip" -> Some Trip
   | "check" -> Some Check
+  | "ranges" | "range" -> Some Ranges
   | _ -> None
 
 (* One cache holds pipeline instances, rendered dependence reports,
@@ -51,7 +53,7 @@ type tier_counters = {
   a_computed : int Atomic.t;
 }
 
-let all_artifacts = [ Classify; Deps; Trip; Check ]
+let all_artifacts = [ Classify; Deps; Trip; Check; Ranges ]
 
 type t = {
   options : options;
@@ -119,7 +121,7 @@ let unit_key udigest = Digest.feed_string udigest "unit.artifact"
    reports — bump it whenever a renderer's output format changes, so a
    shared fleet store never serves bytes from an older report format. *)
 
-let store_schema = 1
+let store_schema = 2
 
 let render_key t base artifact =
   let k =
@@ -128,10 +130,12 @@ let render_key t base artifact =
       store_schema
   in
   (* The rendered check report depends on the oracle's iteration bound;
-     two processes with different --iters must not share it. *)
+     two processes with different --iters must not share it. The deps
+     and check reports also depend on whether range sharpening is on. *)
   match artifact with
-  | Check -> Digest.feed_int k t.options.check_iters
-  | Classify | Deps | Trip -> k
+  | Check -> Digest.feed_bool (Digest.feed_int k t.options.check_iters) t.options.use_ranges
+  | Deps -> Digest.feed_bool k t.options.use_ranges
+  | Classify | Trip | Ranges -> k
 
 let tier_of t artifact = List.assoc artifact t.tiers
 
@@ -190,9 +194,11 @@ let phase_metric = function
   | Pipeline.Classify -> "phase.classify"
   | Pipeline.Trip -> "phase.trip"
   | Pipeline.Promote -> "phase.promote"
+  | Pipeline.Ranges -> "phase.range"
   | Pipeline.Depgraph -> "phase.deps"
   | Pipeline.VerifyIr -> "phase.verify_ir"
   | Pipeline.VerifyClass -> "phase.verify_class"
+  | Pipeline.VerifyRanges -> "phase.verify_ranges"
   | Pipeline.VerifyTrans -> "phase.verify_trans"
 
 (* The unit-artifact cache interface handed to the pipeline's unit
@@ -293,6 +299,9 @@ let classify_chain =
 
 let trip_chain = Pipeline.[ Parse; Ssa; Looptree; Sccp; Units; Classify; Trip ]
 
+let ranges_chain =
+  Pipeline.[ Parse; Ssa; Looptree; Sccp; Units; Classify; Promote; Ranges ]
+
 let analyze ?pool t src : (Analysis.Driver.t, string) result =
   Metrics.incr (Metrics.counter t.metrics "requests.analyze");
   let p = pipeline t src in
@@ -306,7 +315,8 @@ let analyze ?pool t src : (Analysis.Driver.t, string) result =
 (* -- the dependence report (the service layer's own pass) -- *)
 
 let deps_text ?pool t p : (string, string) result =
-  match ensure_chain ?pool t p classify_chain with
+  let chain = if t.options.use_ranges then ranges_chain else classify_chain in
+  match ensure_chain ?pool t p chain with
   | Error e -> Error e
   | Ok () -> (
     match Pipeline.promoted p with
@@ -317,15 +327,29 @@ let deps_text ?pool t p : (string, string) result =
         | Some d -> d
         | None -> assert false (* promote just succeeded *)
       in
+      (* Range sharpening changes the report, so the ranges digest joins
+         the key: a source that promotes identically but ranges
+         differently (it cannot today — ranges derive from promote — but
+         schema honesty is cheap) never shares the text. *)
+      let ranges =
+        if t.options.use_ranges then
+          match Pipeline.ranges p with Ok r -> Some r | Error _ -> None
+        else None
+      in
+      let key =
+        match (ranges, Pipeline.digest p Pipeline.Ranges) with
+        | Some _, Some rd -> Digest.feed_string (deps_key pd) (Digest.to_hex rd)
+        | _ -> deps_key pd
+      in
       let c = counters_of t Pipeline.Depgraph in
       let computed = ref false in
       let entry =
-        Cache.find_or_add t.cache (deps_key pd) (fun () ->
+        Cache.find_or_add t.cache key (fun () ->
             computed := true;
             Pool.tick ();
             Obs.Prof.time t.metrics "phase.deps" (fun () ->
                 let d = Analysis.Driver.of_analysis a in
-                let g = Dependence.Dep_graph.build d in
+                let g = Dependence.Dep_graph.build ?ranges d in
                 E_text
                   (if g = [] then "no dependences\n"
                    else Dependence.Dep_graph.to_string d g)))
@@ -365,6 +389,17 @@ let verify_class_key t p =
   | None -> None
 
 let verify_trans_key base = Digest.feed_string base "part.verify_trans"
+
+let verify_ranges_key t p =
+  match
+    (Pipeline.digest p Pipeline.Promote, Pipeline.digest p Pipeline.Ranges)
+  with
+  | Some dp, Some dr ->
+    Some
+      (Digest.feed_int
+         (verify_key "part.verify_ranges" [ dp; dr ])
+         t.options.check_iters)
+  | _ -> None
 
 (* Force one verify pass through the part cache, with the same hit/miss
    accounting, timeout tick and phase timing as any other pass. *)
@@ -418,11 +453,31 @@ let check_parts ?pool t base p : (Verify.Check.report, string) result =
               Verify.Check.oracle_part ~iters:t.options.check_iters d)
         | None -> Verify.Check.oracle_part ~iters:t.options.check_iters d
       in
+      let ranges_part =
+        if not t.options.use_ranges then []
+        else begin
+          match ensure ?pool t p Pipeline.Ranges with
+          | Error _ -> []
+          | Ok () -> (
+            match Pipeline.ranges p with
+            | Error _ -> []
+            | Ok r ->
+              let part =
+                match verify_ranges_key t p with
+                | Some key ->
+                  ensure_part t p Pipeline.VerifyRanges key (fun () ->
+                      Verify.Check.ranges_part ~iters:t.options.check_iters d r)
+                | None ->
+                  Verify.Check.ranges_part ~iters:t.options.check_iters d r
+              in
+              [ part ])
+        end
+      in
       let trans =
         ensure_part t p Pipeline.VerifyTrans (verify_trans_key base) (fun () ->
             Verify.Check.transform_part prog)
       in
-      Ok { Verify.Check.parts = [ structural; oracle; trans ] }
+      Ok { Verify.Check.parts = [ structural; oracle ] @ ranges_part @ [ trans ] }
     end
 
 (* [check t src] is the structured report (the CLI's `--check` and
@@ -440,6 +495,7 @@ let final_pass = function
   | Trip -> Pipeline.Trip
   | Deps -> Pipeline.Depgraph
   | Check -> Pipeline.VerifyTrans
+  | Ranges -> Pipeline.Ranges
 
 (* The three-step read path: memory (a forced pipeline, or the rendered
    text an earlier disk hit promoted into the LRU), then the disk store,
@@ -489,6 +545,10 @@ let render ?pool t artifact src : (string, string) result =
         | Ok () -> Pipeline.trip_report p)
       | Deps -> deps_text ?pool t p
       | Check -> Result.map Verify.Check.to_text (check_parts ?pool t base p)
+      | Ranges -> (
+        match ensure_chain ?pool t p ranges_chain with
+        | Error e -> Error e
+        | Ok () -> Pipeline.range_report p)
     in
     if hit then begin
       (* The pipeline already holds every pass the artifact needs;
@@ -525,6 +585,7 @@ let render ?pool t artifact src : (string, string) result =
 let classify t src = render t Classify src
 let deps t src = render t Deps src
 let trip t src = render t Trip src
+let ranges t src = render t Ranges src
 
 (* -- incremental surfaces -- *)
 
@@ -663,10 +724,16 @@ let invalidate t src =
       in
       drop
         (match Pipeline.digest p Pipeline.Promote with
-         | Some pd -> Some (deps_key pd)
+         | Some pd -> (
+           let base_deps = deps_key pd in
+           match Pipeline.digest p Pipeline.Ranges with
+           | Some rd when t.options.use_ranges ->
+             Some (Digest.feed_string base_deps (Digest.to_hex rd))
+           | _ -> Some base_deps)
          | None -> None)
       + drop (verify_ir_key p)
       + drop (verify_class_key t p)
+      + drop (verify_ranges_key t p)
       + drop
           (if Pipeline.forced p Pipeline.VerifyTrans then
              Some (verify_trans_key base)

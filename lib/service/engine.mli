@@ -26,12 +26,15 @@ type options = {
   use_sccp : bool;
   check_iters : int;
       (** the oracle's per-loop iteration bound N for checked mode *)
+  use_ranges : bool;
+      (** range-sharpen dependence testing and run the range oracle in
+          checked mode (the [--no-ranges] baseline turns this off) *)
 }
 
 val default_options : options
-(** [{ use_sccp = true; check_iters = 100 }] *)
+(** [{ use_sccp = true; check_iters = 100; use_ranges = true }] *)
 
-type artifact = Classify | Deps | Trip | Check
+type artifact = Classify | Deps | Trip | Check | Ranges
 
 val artifact_to_string : artifact -> string
 val artifact_of_string : string -> artifact option
@@ -89,6 +92,9 @@ val render : ?pool:Pool.pool -> t -> artifact -> string -> (string, string) resu
 val classify : t -> string -> (string, string) result
 val deps : t -> string -> (string, string) result
 val trip : t -> string -> (string, string) result
+
+(** The rendered per-def interval table ([render t Ranges src]). *)
+val ranges : t -> string -> (string, string) result
 
 (** [diff t old_src new_src] analyzes [old_src] (warming the unit
     cache), then [new_src] through it, and renders one line per

@@ -16,6 +16,11 @@ val mentions : string -> Obs.Trace.event -> bool
     containing that SSA name. *)
 val report : ?var:string -> Obs.Trace.event list -> string
 
-(** [run ?var engine src] — classify [src] and report. [Error] on
+(** [run ?var ?json engine src] — classify [src] and report: the
+    per-SCR provenance followed by a [== ranges ==] section (per-def
+    intervals and, when the program declares array extents, the
+    bounds-check classification). With [json], one object
+    [{"scrs":[...],"ranges":{...},"bounds":{...}}] instead. [Error] on
     parse/analysis failure or when [var] matches no SCR. *)
-val run : ?var:string -> Engine.t -> string -> (string, string) result
+val run :
+  ?var:string -> ?json:bool -> Engine.t -> string -> (string, string) result

@@ -112,17 +112,18 @@ let handle ?pool engine line =
         match Engine.reanalyze ?pool engine src with
         | Ok text -> Ok_payload text
         | Error msg -> Err msg)
-  | (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK") as cmd), Some path ->
+  | (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK" | "RANGES") as cmd), Some path ->
     let artifact =
       match cmd with
       | "CLASSIFY" -> Engine.Classify
       | "DEPS" -> Engine.Deps
       | "CHECK" -> Engine.Check
+      | "RANGES" -> Engine.Ranges
       | _ -> Engine.Trip
     in
     artifact_reply ?pool engine artifact path
-  | ( (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK" | "INVALIDATE" | "PASSES" | "BATCH"
-      | "REANALYZE") as cmd),
+  | ( (("CLASSIFY" | "DEPS" | "TRIP" | "CHECK" | "RANGES" | "INVALIDATE"
+      | "PASSES" | "BATCH" | "REANALYZE") as cmd),
       None ) ->
     Err (cmd ^ " needs a file argument")
   (* PERSIST with and without argument are both valid, handled above. *)

@@ -5,6 +5,7 @@
     {v
     request  := COMMAND [SP ARG] NL
     COMMAND  := CLASSIFY path | DEPS path | TRIP path | CHECK path
+                | RANGES path
               | REANALYZE path
               | BATCH artifact path...      (artifact := classify|deps|trip|check)
               | PASSES path | INVALIDATE path | STATS | METRICS | TRACE | RESET | QUIT

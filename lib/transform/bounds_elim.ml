@@ -1,0 +1,174 @@
+(* Range-driven bounds-check elimination (see bounds_elim.mli). *)
+
+module Ast = Ir.Ast
+module Interval = Analysis.Interval
+module Extint = Analysis.Extint
+module Range = Analysis.Range
+
+type status = Eliminated | Retained
+
+type dim = {
+  index : int;
+  status : status;
+  interval : Interval.t;
+  extent : int * int;
+}
+
+type site = {
+  array : Ir.Ident.t;
+  kind : [ `Load | `Store ];
+  block : Ir.Label.t;
+  dims : dim list;
+}
+
+type summary = {
+  sites : site list;
+  eliminated : int;
+  retained : int;
+  skipped : int;
+}
+
+let extents_of (p : Ast.program) (a : Ir.Ident.t) : (int * int) list option =
+  List.find_map
+    (fun (d : Ast.decl) ->
+      if Ir.Ident.equal d.Ast.array a then Some d.Ast.dims else None)
+    p.Ast.decls
+
+let classify_dim r ~block index (sub : Ir.Instr.value) (lo, hi) : dim =
+  let interval = Range.value_interval_at r ~block sub in
+  let ext = Interval.make (Extint.of_int lo) (Extint.of_int hi) in
+  let status = if Interval.subset interval ext then Eliminated else Retained in
+  { index; status; interval; extent = (lo, hi) }
+
+let analyze (r : Range.t) (ssa : Ir.Ssa.t) (p : Ast.program) : summary =
+  let cfg = Ir.Ssa.cfg ssa in
+  let sites = ref [] in
+  let skipped = ref 0 in
+  let visit label (instr : Ir.Instr.t) array kind subs =
+    match extents_of p array with
+    | Some exts when List.length exts = List.length subs ->
+      let dims = List.mapi (fun i (s, e) -> classify_dim r ~block:label i s e)
+          (List.combine subs exts)
+      in
+      sites := (instr.Ir.Instr.id, { array; kind; block = label; dims }) :: !sites
+    | _ -> incr skipped
+  in
+  List.iter
+    (fun label ->
+      List.iter
+        (fun (instr : Ir.Instr.t) ->
+          match instr.Ir.Instr.op with
+          | Ir.Instr.Aload a ->
+            visit label instr a `Load (Array.to_list instr.Ir.Instr.args)
+          | Ir.Instr.Astore a ->
+            let n = Array.length instr.Ir.Instr.args in
+            visit label instr a `Store
+              (Array.to_list (Array.sub instr.Ir.Instr.args 0 (n - 1)))
+          | _ -> ())
+        (Ir.Cfg.block cfg label).Ir.Cfg.instrs)
+    (Ir.Cfg.labels cfg);
+  (* Instruction ids follow lowering order, i.e. the program's textual
+     order — [optimize] pairs these sites with an AST walk. *)
+  let sites =
+    List.sort (fun (a, _) (b, _) -> compare a b) !sites |> List.map snd
+  in
+  let count st =
+    List.fold_left
+      (fun acc s ->
+        acc + List.length (List.filter (fun d -> d.status = st) s.dims))
+      0 sites
+  in
+  {
+    sites;
+    eliminated = count Eliminated;
+    retained = count Retained;
+    skipped = !skipped;
+  }
+
+let report (s : summary) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun d ->
+          let lo, hi = d.extent in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s dim %d: %s within %d:%d -> %s\n"
+               (Ir.Ident.name site.array)
+               (match site.kind with `Load -> "load" | `Store -> "store")
+               d.index
+               (Interval.to_string d.interval)
+               lo hi
+               (match d.status with
+                | Eliminated -> "eliminated"
+                | Retained -> "retained")))
+        site.dims)
+    s.sites;
+  Buffer.add_string buf
+    (Printf.sprintf "bounds checks: %d eliminated, %d retained%s\n"
+       s.eliminated s.retained
+       (if s.skipped = 0 then ""
+        else Printf.sprintf " (%d undeclared accesses skipped)" s.skipped));
+  Buffer.contents buf
+
+(* Wrap one store in its per-dimension guards (outermost = dim 0). A
+   [false] in [keep] drops that dimension's guard. *)
+let rec guard keeps exts idx inner =
+  match (keeps, exts, idx) with
+  | [], [], [] -> inner
+  | k :: kt, (lo, hi) :: et, e :: it ->
+    let rest = guard kt et it inner in
+    if k then
+      [
+        Ast.If
+          ( Ast.Cmp (Ir.Ops.Ge, e, Ast.Int lo),
+            [ Ast.If (Ast.Cmp (Ir.Ops.Le, e, Ast.Int hi), rest, []) ],
+            [] );
+      ]
+    else rest
+  | _ -> inner
+
+(* [keep_of] decides, per store site in program order, which dimensions
+   keep their guards. The AST walk below visits stores in the same
+   order lowering emits them (statements in sequence, then-branch
+   before else-branch), so a simple queue pairs the two. *)
+let rewrite_stores (p : Ast.program) ~(keep_of : Ir.Ident.t -> int -> bool list option) :
+    Ast.program =
+  let counter = ref 0 in
+  let rec stmt s =
+    match s with
+    | Ast.Assign _ | Ast.Exit_if _ -> [ s ]
+    | Ast.Astore (a, idx, _) -> (
+      match extents_of p a with
+      | Some exts when List.length exts = List.length idx -> (
+        let n = !counter in
+        incr counter;
+        match keep_of a n with
+        | Some keeps -> guard keeps exts idx [ s ]
+        | None -> [ s ])
+      | _ -> [ s ])
+    | Ast.If (c, t, e) -> [ Ast.If (c, stmts t, stmts e) ]
+    | Ast.Loop (name, body) -> [ Ast.Loop (name, stmts body) ]
+    | Ast.For f -> [ Ast.For { f with Ast.body = stmts f.Ast.body } ]
+  and stmts l = List.concat_map stmt l in
+  { p with Ast.stmts = stmts p.Ast.stmts }
+
+let instrument (p : Ast.program) : Ast.program =
+  rewrite_stores p ~keep_of:(fun a _ ->
+      match extents_of p a with
+      | Some exts -> Some (List.map (fun _ -> true) exts)
+      | None -> None)
+
+let optimize (r : Range.t) (ssa : Ir.Ssa.t) (p : Ast.program) : Ast.program =
+  let s = analyze r ssa p in
+  let stores =
+    Array.of_list (List.filter (fun site -> site.kind = `Store) s.sites)
+  in
+  rewrite_stores p ~keep_of:(fun a n ->
+      if n < Array.length stores && Ir.Ident.equal stores.(n).array a then
+        Some (List.map (fun d -> d.status = Retained) stores.(n).dims)
+      else
+        (* Pairing drifted (should not happen): keep every guard. *)
+        match extents_of p a with
+        | Some exts -> Some (List.map (fun _ -> true) exts)
+        | None -> None)

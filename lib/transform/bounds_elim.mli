@@ -1,0 +1,54 @@
+(** Bounds-check elimination driven by the value-range analysis.
+
+    A program may declare array extents ([array A(1:100)]); every access
+    to a declared array conceptually carries one bounds check per
+    dimension. [analyze] classifies each check: {e eliminated} when the
+    range analysis proves the subscript's use-site interval is contained
+    in the declared extent, {e retained} otherwise. Accesses to
+    undeclared arrays (or with a rank mismatch) are skipped — they are
+    unbounded.
+
+    [instrument] materializes every store-side check as nested guard
+    [if]s around the store — the fully-checked program. [optimize] does
+    the same but omits the eliminated checks. Running both and diffing
+    their array footprints is the transform's soundness oracle
+    ({!Verify.Transforms}, TRN003): if elimination ever dropped a check
+    that would have fired, the optimized footprint gains a store the
+    fully-checked program suppressed. Load-side checks are classified
+    and counted but never materialized (loads sit inside expressions). *)
+
+type status = Eliminated | Retained
+
+type dim = {
+  index : int;  (** 0-based dimension *)
+  status : status;
+  interval : Analysis.Interval.t;  (** subscript's use-site interval *)
+  extent : int * int;  (** declared inclusive bounds *)
+}
+
+type site = {
+  array : Ir.Ident.t;
+  kind : [ `Load | `Store ];
+  block : Ir.Label.t;
+  dims : dim list;
+}
+
+type summary = {
+  sites : site list;  (** in program (lowering) order *)
+  eliminated : int;
+  retained : int;
+  skipped : int;  (** accesses to undeclared / rank-mismatched arrays *)
+}
+
+val analyze :
+  Analysis.Range.t -> Ir.Ssa.t -> Ir.Ast.program -> summary
+
+val report : summary -> string
+
+(** Guard every store to a declared array with all its checks. *)
+val instrument : Ir.Ast.program -> Ir.Ast.program
+
+(** Guard every store to a declared array with only the checks
+    [analyze] retains. The [ssa] must be built from this same [p]. *)
+val optimize :
+  Analysis.Range.t -> Ir.Ssa.t -> Ir.Ast.program -> Ir.Ast.program

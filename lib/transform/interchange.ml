@@ -63,7 +63,7 @@ let apply (p : Ir.Ast.program) ~outer_name : Ir.Ast.program =
     | Ir.Ast.If (c, t, e) -> Ir.Ast.If (c, List.map stmt t, List.map stmt e)
     | Ir.Ast.Assign _ | Ir.Ast.Astore _ | Ir.Ast.Exit_if _ -> s
   in
-  { Ir.Ast.stmts = List.map stmt p.Ir.Ast.stmts }
+  { p with Ir.Ast.stmts = List.map stmt p.Ir.Ast.stmts }
 
 (* [legal_for_program src ~outer_name ~inner_name] is the whole check:
    analyze, build the dependence graph, decide. *)

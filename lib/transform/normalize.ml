@@ -93,4 +93,4 @@ let rec normalize_stmt (s : Ir.Ast.stmt) : Ir.Ast.stmt =
   | Ir.Ast.Assign _ | Ir.Ast.Astore _ | Ir.Ast.Exit_if _ -> s
 
 let normalize (p : Ir.Ast.program) : Ir.Ast.program =
-  { Ir.Ast.stmts = List.map normalize_stmt p.Ir.Ast.stmts }
+  { p with Ir.Ast.stmts = List.map normalize_stmt p.Ir.Ast.stmts }

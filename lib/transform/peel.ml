@@ -68,4 +68,4 @@ let peel_named name (p : Ir.Ast.program) : Ir.Ast.program =
       [ Ir.Ast.If (c, List.concat_map stmt t, List.concat_map stmt e) ]
     | Ir.Ast.Assign _ | Ir.Ast.Astore _ | Ir.Ast.Exit_if _ -> [ s ]
   in
-  { Ir.Ast.stmts = List.concat_map stmt p.Ir.Ast.stmts }
+  { p with Ir.Ast.stmts = List.concat_map stmt p.Ir.Ast.stmts }

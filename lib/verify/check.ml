@@ -71,6 +71,41 @@ let oracle_part ?(iters = 100) (t : Analysis.Driver.t) : part =
   in
   { family = "oracle"; note; checks = checked; diags }
 
+let ranges_part ?(iters = 100) (t : Analysis.Driver.t) (r : Analysis.Range.t) :
+    part =
+  let results =
+    List.map
+      (fun (tag, params, seed) ->
+        let state = Random.State.make [| seed |] in
+        Range_oracle.check ~iters ~fuel:200_000 ~params
+          ~rand:(fun () -> Random.State.bool state)
+          ~tag t r)
+      oracle_runs
+  in
+  let diags =
+    List.concat_map (fun (x : Range_oracle.result) -> x.Range_oracle.diags) results
+  in
+  let checked =
+    List.fold_left
+      (fun a (x : Range_oracle.result) -> a + x.Range_oracle.checked)
+      0 results
+  in
+  let vars =
+    List.fold_left
+      (fun a (x : Range_oracle.result) -> max a x.Range_oracle.vars)
+      0 results
+  in
+  let max_h =
+    List.fold_left
+      (fun a (x : Range_oracle.result) -> max a x.Range_oracle.max_h)
+      0 results
+  in
+  let note =
+    Printf.sprintf "%d runs, N=%d: %d interval checks over %d defs, max h=%d"
+      (List.length results) iters checked vars max_h
+  in
+  { family = "ranges"; note; checks = checked; diags }
+
 let transform_part ?fuel (p : Ir.Ast.program) : part =
   let r = Transforms.check ?fuel p in
   let note =
@@ -154,8 +189,14 @@ let run ?iters src =
       Ok { parts = [ structural ] }
     else
       let t = Analysis.Driver.analyze ssa in
+      let r = Analysis.Driver.ranges t in
       Ok
         {
           parts =
-            [ structural; oracle_part ?iters t; transform_part prog ];
+            [
+              structural;
+              oracle_part ?iters t;
+              ranges_part ?iters t r;
+              transform_part prog;
+            ];
         }

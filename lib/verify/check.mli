@@ -9,7 +9,7 @@
     functions of the part data. *)
 
 type part = {
-  family : string;  (** "structural" | "oracle" | "transforms" *)
+  family : string;  (** "structural" | "oracle" | "ranges" | "transforms" *)
   note : string;  (** one line of coverage stats *)
   checks : int;
   diags : Ir.Diag.t list;
@@ -26,6 +26,12 @@ type report = { parts : part list }
 val structural_part : ?lower:Ir.Cfg.t -> Ir.Ssa.t -> part
 
 val oracle_part : ?iters:int -> Analysis.Driver.t -> part
+
+(** [ranges_part t r] checks every concrete valuation of every def
+    against its reported interval ({!Range_oracle}), under the same two
+    fixed runs as the classification oracle. *)
+val ranges_part : ?iters:int -> Analysis.Driver.t -> Analysis.Range.t -> part
+
 val transform_part : ?fuel:int -> Ir.Ast.program -> part
 
 val errors : report -> int

@@ -105,4 +105,48 @@ let check ?(fuel = 200_000) ?(seed = 7) ?(params = fun _ -> 0)
      add
        (Diag.v ~code:"TRN001" ~origin:"normalize" "transform raised: %s"
           (Printexc.to_string e)));
+  (* Bounds-check elimination. The differential here is not against the
+     untransformed program (guards legitimately suppress out-of-bounds
+     stores) but between the fully-checked and the optimized-checked
+     programs: if elimination ever drops a guard that would have fired,
+     the optimized footprint gains a store the fully-checked program
+     suppressed (TRN003). *)
+  incr transforms;
+  (match
+     let ssa = Ir.Ssa.of_program p in
+     let t = Analysis.Driver.analyze ssa in
+     let r = Analysis.Driver.ranges t in
+     let full = Transform.Bounds_elim.instrument p in
+     let opt = Transform.Bounds_elim.optimize r ssa p in
+     (full, opt)
+   with
+   | full, opt ->
+     let ssa_opt = Ir.Ssa.of_program opt in
+     structural "bounds" ssa_opt;
+     (match
+        ( footprint ~fuel ~params ~seed (Ir.Ssa.of_program full),
+          footprint ~fuel ~params ~seed ssa_opt )
+      with
+      | Some checked, Some optimized ->
+        cells := !cells + List.length checked;
+        if checked <> optimized then
+          add
+            (Diag.v ~code:"TRN003" ~origin:"bounds"
+               "optimized-checked footprint diverges from fully-checked                 (%d cells differ): an eliminated bounds check would have                 fired"
+               (List.length
+                  (List.filter
+                     (fun c -> not (List.mem c checked))
+                     optimized)
+               + List.length
+                   (List.filter
+                      (fun c -> not (List.mem c optimized))
+                      checked)))
+      | None, _ | _, None ->
+        add
+          (Diag.v ~severity:Diag.Info ~code:"TRN000" ~origin:"bounds"
+             "differential skipped: out of fuel under this valuation"))
+   | exception e ->
+     add
+       (Diag.v ~code:"TRN001" ~origin:"bounds" "transform raised: %s"
+          (Printexc.to_string e)));
   { diags = List.rev !diags; transforms = !transforms; cells = !cells }

@@ -154,7 +154,8 @@ let gen_program =
   map3
     (fun inits trips body ->
       {
-        Ir.Ast.stmts =
+        Ir.Ast.decls = [];
+        stmts =
           inits
           @ [
               Ir.Ast.For

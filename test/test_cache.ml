@@ -85,8 +85,16 @@ let test_engine_memoizes () =
 let test_same_source_different_options () =
   (* The options are part of the key: sccp on/off must not share
      entries, and each engine's first lookup is a miss. *)
-  let on = Engine.create ~options:{ Engine.use_sccp = true; check_iters = 100 } () in
-  let off = Engine.create ~options:{ Engine.use_sccp = false; check_iters = 100 } () in
+  let on =
+    Engine.create
+      ~options:{ Engine.use_sccp = true; check_iters = 100; use_ranges = true }
+      ()
+  in
+  let off =
+    Engine.create
+      ~options:{ Engine.use_sccp = false; check_iters = 100; use_ranges = true }
+      ()
+  in
   let src = "i = 0\nT: loop\n  i = i + 1\n  if i > 10 exit\nendloop\n" in
   Alcotest.(check bool) "sccp on ok" true (Result.is_ok (Engine.classify on src));
   Alcotest.(check bool) "sccp off ok" true (Result.is_ok (Engine.classify off src));

@@ -4,9 +4,24 @@
 
 let engine () = Service.Engine.create ()
 
+(* The provenance goldens below pin the text before the [== ranges ==]
+   section (the ranges surface has its own goldens at the bottom). *)
+let before_ranges report =
+  let marker = "== ranges ==" in
+  let ml = String.length marker and rl = String.length report in
+  let rec find i =
+    if i + ml > rl then None
+    else if String.sub report i ml = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub report 0 i | None -> report
+
 let check_report name ?var src expected =
   match Service.Explain.run ?var (engine ()) src with
-  | Ok report -> Alcotest.(check string) name expected report
+  | Ok report ->
+    Alcotest.(check string) name expected (before_ranges report);
+    Alcotest.(check bool) (name ^ ": has ranges section") true
+      (Helpers.contains report "== ranges ==")
   | Error msg -> Alcotest.failf "%s: explain failed: %s" name msg
 
 (* Figure 1: mutual j/i updates through one phi — the basic IV family. *)
@@ -170,6 +185,54 @@ let test_warm_engine () =
       (Helpers.contains report "basic IV family (sec 3.1)")
   | Error msg -> Alcotest.failf "explain on warm engine failed: %s" msg
 
+(* --- the ranges section, text and JSON --- *)
+
+let ranges_src =
+  "array A(10)\nL1: for i = 1 to 10 loop\n  A(i) = i\nendloop\n"
+
+(* Full-text golden including the ranges section and the bounds-check
+   classification it licenses. *)
+let test_ranges_section () =
+  match Service.Explain.run (engine ()) ranges_src with
+  | Error msg -> Alcotest.failf "explain failed: %s" msg
+  | Ok report ->
+    Alcotest.(check string) "ranges golden"
+      "== loop L1 ==\n\
+       scr {i2, i3}  shape: single-phi-cycle\n\
+      \  rule: cycle length 2 through a single phi, cumulative effect v' = v + d with d loop-invariant => basic IV family (sec 3.1)\n\
+      \  i2       (L1, 1, 1)\n\
+      \  i3       (L1, 2, 1)\n\
+       scr {%4}  shape: singleton\n\
+      \  rule: relational result is not an integer sequence\n\
+      \  %4       unknown\n\
+       scr {%7}  shape: singleton\n\
+      \  rule: store passes its value through\n\
+      \  %7       (L1, 1, 1)\n\
+       == ranges ==\n\
+       ranges: fixpoint after 5 rounds\n\
+      \  %4       [0, 1]\n\
+      \  %7       [1, 11]  body [1, 10]\n\
+      \  i3       [2, 12]  body [2, 11]\n\
+      \  i2       [1, 11]  body [1, 10]\n\
+      \  A store dim 0: [1, 10] within 1:10 -> eliminated\n\
+       bounds checks: 1 eliminated, 0 retained\n"
+      report
+
+let test_ranges_json () =
+  match Service.Explain.run ~json:true (engine ()) ranges_src with
+  | Error msg -> Alcotest.failf "explain --json failed: %s" msg
+  | Ok payload -> (
+    match Obs.Json.parse_result payload with
+    | Error e -> Alcotest.failf "payload is not JSON: %s" e
+    | Ok j ->
+      Alcotest.(check bool) "has scrs" true (Obs.Json.member "scrs" j <> None);
+      Alcotest.(check bool) "has ranges" true
+        (Obs.Json.member "ranges" j <> None);
+      Alcotest.(check bool) "has bounds" true
+        (Obs.Json.member "bounds" j <> None);
+      Alcotest.(check bool) "counts one eliminated check" true
+        (Helpers.contains payload "\"eliminated\":1"))
+
 let suite =
   ( "explain",
     [
@@ -183,4 +246,6 @@ let suite =
       Helpers.case "unknown variable is an error" test_unknown_var;
       Helpers.case "parse error propagates" test_parse_error;
       Helpers.case "warm engine cache is bypassed" test_warm_engine;
+      Helpers.case "ranges section golden" test_ranges_section;
+      Helpers.case "ranges JSON payload" test_ranges_json;
     ] )

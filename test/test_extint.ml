@@ -1,0 +1,83 @@
+(* Extint edge cases: the saturating operations around the infinities
+   and the min_int corner, which the exact Banerjee arithmetic never
+   exercises but the range domain leans on. *)
+
+module E = Analysis.Extint
+
+let fin n = E.Fin n
+
+let ext =
+  Alcotest.testable
+    (fun fmt x -> Format.pp_print_string fmt (E.to_string x))
+    E.equal
+
+let test_neg () =
+  Alcotest.check ext "neg 5" (fin (-5)) (E.neg (fin 5));
+  Alcotest.check ext "neg -inf" E.Pos_inf (E.neg E.Neg_inf);
+  Alcotest.check ext "neg +inf" E.Neg_inf (E.neg E.Pos_inf);
+  (* -min_int overflows natively; saturating negation goes to +inf. *)
+  Alcotest.check ext "neg min_int" E.Pos_inf (E.neg (fin min_int));
+  Alcotest.check ext "neg max_int" (fin (-max_int)) (E.neg (fin max_int))
+
+let test_sat_add () =
+  Alcotest.check ext "finite" (fin 7) (E.sat_add (fin 3) (fin 4));
+  Alcotest.check ext "overflow up" E.Pos_inf (E.sat_add (fin max_int) (fin 1));
+  Alcotest.check ext "overflow down" E.Neg_inf
+    (E.sat_add (fin min_int) (fin (-1)));
+  Alcotest.check ext "inf absorbs" E.Pos_inf (E.sat_add E.Pos_inf (fin (-5)));
+  Alcotest.check ext "neg inf absorbs" E.Neg_inf
+    (E.sat_add E.Neg_inf (fin max_int));
+  Alcotest.check_raises "opposite infinities"
+    (Invalid_argument "Extint.sat_add: opposite infinities") (fun () ->
+      ignore (E.sat_add E.Pos_inf E.Neg_inf))
+
+let test_mul () =
+  Alcotest.check ext "finite" (fin 12) (E.mul (fin 3) (fin 4));
+  (* Interval convention: zero annihilates even infinities. *)
+  Alcotest.check ext "0 * +inf" E.zero (E.mul E.zero E.Pos_inf);
+  Alcotest.check ext "-inf * 0" E.zero (E.mul E.Neg_inf E.zero);
+  Alcotest.check ext "inf signs" E.Neg_inf (E.mul E.Pos_inf (fin (-2)));
+  Alcotest.check ext "-inf * -inf" E.Pos_inf (E.mul E.Neg_inf E.Neg_inf);
+  (* min_int * -1 = max_int + 1: saturates instead of wrapping. *)
+  Alcotest.check ext "min_int * -1" E.Pos_inf (E.mul (fin min_int) (fin (-1)));
+  Alcotest.check ext "-1 * min_int" E.Pos_inf (E.mul (fin (-1)) (fin min_int));
+  Alcotest.check ext "finite overflow" E.Pos_inf
+    (E.mul (fin max_int) (fin 2));
+  Alcotest.check ext "finite overflow down" E.Neg_inf
+    (E.mul (fin max_int) (fin (-2)))
+
+let test_mul_scalar () =
+  Alcotest.check ext "exact" (fin (-6)) (E.mul_scalar (-2) (fin 3));
+  Alcotest.check ext "scalar 0 kills inf" E.zero (E.mul_scalar 0 E.Pos_inf);
+  Alcotest.check ext "flips inf" E.Neg_inf (E.mul_scalar (-1) E.Pos_inf);
+  Alcotest.check ext "min_int corner" E.Pos_inf
+    (E.mul_scalar (-1) (fin min_int))
+
+let test_div_scalar () =
+  Alcotest.check ext "exact" (fin (-3)) (E.div_scalar (fin 7) (-2));
+  Alcotest.check ext "inf / negative flips" E.Neg_inf
+    (E.div_scalar E.Pos_inf (-3));
+  Alcotest.check ext "min_int / -1" E.Pos_inf (E.div_scalar (fin min_int) (-1))
+
+let test_int_opts () =
+  Alcotest.(check (option int)) "add ok" (Some 3) (E.add_int_opt 1 2);
+  Alcotest.(check (option int)) "add wraps" None (E.add_int_opt max_int 1);
+  Alcotest.(check (option int)) "add wraps down" None
+    (E.add_int_opt min_int (-1));
+  Alcotest.(check (option int)) "mul ok" (Some (-8)) (E.mul_int_opt 2 (-4));
+  Alcotest.(check (option int)) "mul wraps" None (E.mul_int_opt max_int 2);
+  Alcotest.(check (option int)) "min_int * -1 wraps" None
+    (E.mul_int_opt min_int (-1));
+  Alcotest.(check (option int)) "min_int * 1 ok" (Some min_int)
+    (E.mul_int_opt min_int 1)
+
+let suite =
+  ( "extint",
+    [
+      Helpers.case "saturating negation" test_neg;
+      Helpers.case "saturating addition" test_sat_add;
+      Helpers.case "saturating multiplication" test_mul;
+      Helpers.case "scalar multiplication" test_mul_scalar;
+      Helpers.case "scalar division" test_div_scalar;
+      Helpers.case "overflow-checked native ops" test_int_opts;
+    ] )

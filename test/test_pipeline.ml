@@ -56,7 +56,9 @@ let seed_trip_report (d : Driver.t) =
   Buffer.contents buf
 
 let seed_deps_report (d : Driver.t) =
-  let g = Dependence.Dep_graph.build d in
+  (* The engine defaults to range-sharpened dependence testing; the
+     monolithic reference must match. *)
+  let g = Dependence.Dep_graph.build ~ranges:(Driver.ranges d) d in
   if g = [] then "no dependences\n" else Dependence.Dep_graph.to_string d g
 
 let ok = function
