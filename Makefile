@@ -33,17 +33,22 @@ bench-b2:
 	dune exec bench/main.exe -- --b2
 
 # Range-precision experiment (B4 only; writes BENCH_ranges.json — see
-# docs/RANGES.md). Deterministic counting, no timing: it asserts the
-# corpus-wide precision deltas itself, so there is no bench-diff gate.
+# docs/RANGES.md).
 bench-b4:
 	dune exec bench/main.exe -- --b4
 
-# The perf gate CI runs: smoke bench, then diff against the checked-in
-# baseline (generous threshold — runners differ; tighten it when
-# comparing two runs from the same machine).
+# The perf gate CI runs: smoke bench, then diff each experiment against
+# its checked-in baseline. B1/B2 carry timings, so their threshold is
+# generous (runners differ; tighten it when comparing two runs from the
+# same machine). B4 is deterministic precision counting — any drop in
+# pairs_proven_independent / checks_eliminated fails the tight gate.
 bench-gate: bench-smoke
 	dune exec bin/ivtool.exe -- bench-diff \
 	  bench/BASELINE_b1_smoke.json BENCH_service.json --threshold 900
+	dune exec bin/ivtool.exe -- bench-diff \
+	  bench/BASELINE_b2_smoke.json BENCH_incremental.json --threshold 900
+	dune exec bin/ivtool.exe -- bench-diff \
+	  bench/BASELINE_b4_smoke.json BENCH_ranges.json --threshold 1
 
 # The metrics tour (docs/OBSERVABILITY.md, "Metrics & profiling"):
 # Prometheus exposition of a pooled batch, and a profiled classify.

@@ -272,6 +272,30 @@ let cmd_run fuel seed file =
             v)
         cells)
 
+(* Seeded corpus generation (Corpus.Gen): the CLI face of the engine
+   behind the B1 generated corpus and the property tests. *)
+let cmd_gen seed count depth max_trip max_block prefix out =
+  if count < 1 then fatal 1 "gen: --count must be at least 1";
+  let knobs = { Corpus.Gen.depth; max_trip; max_block } in
+  let items = Corpus.Gen.corpus ~knobs ~prefix ~seed ~count () in
+  match out with
+  | Some dir ->
+    (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+     with Sys_error msg -> fatal 1 "gen: %s" msg);
+    List.iter
+      (fun (name, src) ->
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc src;
+        close_out oc)
+      items;
+    Printf.printf "generated %d programs (seed %d) in %s\n" count seed dir
+  | None ->
+    List.iter
+      (fun (name, src) ->
+        if count > 1 then Printf.printf "-- %s --\n" name;
+        print_string src)
+      items
+
 (* --- checked mode: the whole-pipeline verifier (lib/verify) --- *)
 
 let cmd_check no_sccp no_ranges json iters werror dump_cfg inject trace_file
@@ -914,6 +938,46 @@ let metrics_cmd =
     Term.(const cmd_metrics $ jobs $ artifacts $ no_sccp_flag $ store_flag
           $ no_store_flag $ files)
 
+let gen_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let count =
+    Arg.(value & opt int 1
+         & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let depth =
+    Arg.(value & opt int Corpus.Gen.default_knobs.Corpus.Gen.depth
+         & info [ "depth" ] ~docv:"D"
+             ~doc:"Max nesting depth of generated if/for statements.")
+  in
+  let max_trip =
+    Arg.(value & opt int Corpus.Gen.default_knobs.Corpus.Gen.max_trip
+         & info [ "max-trip" ] ~docv:"T"
+             ~doc:"Outer-loop trip-count bound.")
+  in
+  let max_block =
+    Arg.(value & opt int Corpus.Gen.default_knobs.Corpus.Gen.max_block
+         & info [ "max-block" ] ~docv:"B"
+             ~doc:"Max statements per generated block.")
+  in
+  let prefix =
+    Arg.(value & opt string "gen"
+         & info [ "prefix" ] ~docv:"NAME" ~doc:"File-name prefix.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write programs as $(docv)/<prefix>-<i>.iv instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate random loop programs (seeded, deterministic): the same \
+             engine that feeds the B1 benchmark corpus and the property \
+             tests. With --out, writes one .iv file per program.")
+    Term.(const cmd_gen $ seed $ count $ depth $ max_trip $ max_block $ prefix
+          $ out)
+
 let bench_diff_cmd =
   let threshold =
     Arg.(value & opt float 10.0
@@ -970,6 +1034,7 @@ let () =
       diff_cmd;
       gc_cmd;
       metrics_cmd;
+      gen_cmd;
       bench_diff_cmd;
     ]
   in

@@ -41,6 +41,11 @@ let const_of r id =
 let block_executable r l = r.executable_blocks.(l)
 
 let run (ssa : Ir.Ssa.t) : result =
+  (* The def-use chains, edge-executability set and worklists are pure
+     working state — borrowed from the domain's scratch capsule so a
+     batch over many programs reuses one allocation. [values] escapes
+     in the result and stays fresh. *)
+  Scratch.with_sccp @@ fun scratch ->
   let cfg = Ir.Ssa.cfg ssa in
   let nblocks = Ir.Cfg.num_blocks cfg in
   let preds = Ir.Cfg.pred_table cfg in
@@ -54,8 +59,8 @@ let run (ssa : Ir.Ssa.t) : result =
   in
   (* Def-use chains: users of each def, plus blocks whose terminator uses
      the def. *)
-  let users : Ir.Instr.t list Ir.Instr.Id.Table.t = Ir.Instr.Id.Table.create 256 in
-  let branch_users : Ir.Label.t list Ir.Instr.Id.Table.t = Ir.Instr.Id.Table.create 16 in
+  let users = scratch.Scratch.users in
+  let branch_users = scratch.Scratch.branch_users in
   let add_user d (i : Ir.Instr.t) =
     let cur = Option.value ~default:[] (Ir.Instr.Id.Table.find_opt users d) in
     Ir.Instr.Id.Table.replace users d (i :: cur)
@@ -74,10 +79,10 @@ let run (ssa : Ir.Ssa.t) : result =
       | _ -> ())
     (Ir.Cfg.labels cfg);
   (* Edge executability, keyed (from, to). *)
-  let edge_exec : (Ir.Label.t * Ir.Label.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let edge_exec = scratch.Scratch.edge_exec in
   let block_exec = Array.make nblocks false in
-  let flow_work : (Ir.Label.t * Ir.Label.t) Queue.t = Queue.create () in
-  let ssa_work : Ir.Instr.t Queue.t = Queue.create () in
+  let flow_work = scratch.Scratch.flow_work in
+  let ssa_work = scratch.Scratch.ssa_work in
   let block_of (i : Ir.Instr.t) = Ir.Cfg.block_of_instr cfg i.Ir.Instr.id in
   let rec set_value (i : Ir.Instr.t) v =
     if not (lattice_equal (get i.Ir.Instr.id) v) then begin

@@ -1,0 +1,37 @@
+(** Per-domain reusable scratch buffers for the analysis hot paths.
+
+    Each domain owns one capsule of grow-only buffers (backing
+    capacity survives [clear]); a consumer borrows one group for the
+    duration of a call via the [with_*] functions below. The buffers
+    are handed over empty and emptied again on release (normal return
+    or exception), so no analysis data outlives a borrow and per-task
+    working sets die in the minor heap instead of promoting — the
+    allocation-discipline contract described in docs/SERVICE.md.
+
+    Safe under the worker pool: the capsule is domain-local storage,
+    never shared. Nested borrows of the same group fall back to fresh
+    throwaway buffers, so reentrancy cannot corrupt an outer user. *)
+
+(** Tarjan SCC bookkeeping, keyed by the graph's node key. *)
+type tarjan = {
+  index : (int, int) Hashtbl.t;
+  lowlink : (int, int) Hashtbl.t;
+  on_stack : (int, unit) Hashtbl.t;
+}
+
+(** SCCP def-use chains, edge executability, and worklists. The values
+    table is {e not} here — it escapes in the result. *)
+type sccp = {
+  users : Ir.Instr.t list Ir.Instr.Id.Table.t;
+  branch_users : Ir.Label.t list Ir.Instr.Id.Table.t;
+  edge_exec : (Ir.Label.t * Ir.Label.t, unit) Hashtbl.t;
+  flow_work : (Ir.Label.t * Ir.Label.t) Queue.t;
+  ssa_work : Ir.Instr.t Queue.t;
+}
+
+val with_tarjan : (tarjan -> 'a) -> 'a
+val with_sccp : (sccp -> 'a) -> 'a
+
+(** Per-loop distance accumulation for the dependence tester's
+    per-pair outcome merge. *)
+val with_distances : ((int, int) Hashtbl.t -> 'a) -> 'a

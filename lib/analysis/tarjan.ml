@@ -15,9 +15,8 @@ type 'a graph = { vertices : 'a list; edges : 'a -> 'a list; key : 'a -> int }
    topological order of the condensation (callees/operands first). Each
    component lists its members in discovery order. *)
 let sccs (g : 'a graph) : 'a list list =
-  let index : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let lowlink : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let on_stack : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Scratch.with_tarjan @@ fun sc ->
+  let { Scratch.index; lowlink; on_stack } = sc in
   let stack : 'a list ref = ref [] in
   let counter = ref 0 in
   let out = ref [] in

@@ -1,0 +1,198 @@
+(* Seeded random loop-program generation — the corpus engine behind
+   `ivtool gen`, the B1 10k-program benchmark corpus, and (through a
+   thin QCheck2 adapter in test/gen.ml) the property tests.
+
+   The statement mix is biased toward the paper's recurrence shapes
+   (increments, copies/rotations, flip-flops, geometric updates,
+   conditional updates, affine array subscripts) so the classifier and
+   the dependence tester actually fire; all loops are counted so the
+   interpreter terminates without fuel pressure.
+
+   Everything is driven by an explicit [Random.State.t]: the same seed
+   and knobs produce the same program on every host, which is what
+   lets CI gate byte-identity of -j1 vs -j4 batch output over a
+   generated corpus. *)
+
+type knobs = {
+  depth : int; (* max nesting depth of if/for templates *)
+  max_trip : int; (* outer-loop trip-count bound *)
+  max_block : int; (* statements per generated block *)
+}
+
+let default_knobs = { depth = 2; max_trip = 8; max_block = 4 }
+
+let var_names = [ "va"; "vb"; "vc"; "vd" ]
+
+let ident name = Ir.Ident.of_string name
+let var name = Ir.Ast.Var (ident name)
+
+(* [range st lo hi] — uniform in [lo, hi] inclusive. *)
+let range st lo hi = lo + Random.State.int st (hi - lo + 1)
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let gen_var st = pick st var_names
+let gen_const st = range st (-4) 6
+
+(* Simple right-hand sides over the current variables. *)
+let gen_expr st =
+  match Random.State.int st 7 with
+  | 0 -> Ir.Ast.Int (gen_const st)
+  | 1 -> var (gen_var st)
+  | 2 ->
+    let v = gen_var st in
+    Ir.Ast.Binop (Ir.Ops.Add, var v, Ir.Ast.Int (gen_const st))
+  | 3 ->
+    let a = gen_var st in
+    let b = gen_var st in
+    Ir.Ast.Binop (Ir.Ops.Add, var a, var b)
+  | 4 ->
+    let v = gen_var st in
+    Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int (range st (-3) 3))
+  | 5 ->
+    let a = gen_var st in
+    let b = gen_var st in
+    Ir.Ast.Binop (Ir.Ops.Sub, var a, var b)
+  | _ -> Ir.Ast.Neg (var (gen_var st))
+
+let gen_cond st =
+  if Random.State.bool st then Ir.Ast.Unknown
+  else
+    let op =
+      pick st [ Ir.Ops.Lt; Ir.Ops.Le; Ir.Ops.Gt; Ir.Ops.Ge; Ir.Ops.Eq; Ir.Ops.Ne ]
+    in
+    let a = gen_var st in
+    Ir.Ast.Cmp (op, var a, Ir.Ast.Int (gen_const st))
+
+(* An affine subscript k*v + c, the shape the dependence tests solve. *)
+let gen_affine_subscript st =
+  let v = gen_var st in
+  let k = range st 1 3 in
+  let c = range st (-2) 4 in
+  Ir.Ast.Binop
+    (Ir.Ops.Add, Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int k), Ir.Ast.Int c)
+
+(* Statement templates biased toward classifiable recurrences. *)
+let rec gen_stmt knobs st depth =
+  let leaf () =
+    match Random.State.int st 9 with
+    | 0 ->
+      (* v += c (linear) *)
+      let v = gen_var st in
+      let c = gen_const st in
+      Ir.Ast.Assign
+        ( ident v,
+          Ir.Ast.Binop (Ir.Ops.Add, var v, Ir.Ast.Int (if c = 0 then 1 else c))
+        )
+    | 1 ->
+      (* v += w (polynomial chains) *)
+      let v = gen_var st in
+      let w = gen_var st in
+      Ir.Ast.Assign (ident v, Ir.Ast.Binop (Ir.Ops.Add, var v, var w))
+    | 2 ->
+      (* copy: v = w (rotations / wrap-arounds) *)
+      let v = gen_var st in
+      let w = gen_var st in
+      Ir.Ast.Assign (ident v, var w)
+    | 3 ->
+      (* flip-flop: v = c - v *)
+      let v = gen_var st in
+      let c = gen_const st in
+      Ir.Ast.Assign (ident v, Ir.Ast.Binop (Ir.Ops.Sub, Ir.Ast.Int c, var v))
+    | 4 ->
+      (* geometric: v = v*k + c *)
+      let v = gen_var st in
+      let k = range st 2 3 in
+      let c = gen_const st in
+      Ir.Ast.Assign
+        ( ident v,
+          Ir.Ast.Binop
+            ( Ir.Ops.Add,
+              Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int k),
+              Ir.Ast.Int c ) )
+    | 5 ->
+      (* general assignment *)
+      let v = gen_var st in
+      Ir.Ast.Assign (ident v, gen_expr st)
+    | 6 ->
+      (* array store, subscripted by a variable *)
+      let v = gen_var st in
+      Ir.Ast.Astore (ident "arr", [ var v ], gen_expr st)
+    | 7 ->
+      (* array store with an affine subscript (exercises the
+         dependence-graph oracle) *)
+      let sub = gen_affine_subscript st in
+      Ir.Ast.Astore (ident "arr", [ sub ], gen_expr st)
+    | _ ->
+      (* array read through an affine subscript *)
+      let w = gen_var st in
+      let sub = gen_affine_subscript st in
+      Ir.Ast.Assign (ident w, Ir.Ast.Aref (ident "arr", [ sub ]))
+  in
+  if depth = 0 then [ leaf () ]
+  else begin
+    (* frequency 4 leaf : 2 conditional : 2 nested loop *)
+    match Random.State.int st 8 with
+    | 0 | 1 | 2 | 3 -> [ leaf () ]
+    | 4 | 5 ->
+      let c = gen_cond st in
+      let t = gen_stmts knobs st (depth - 1) in
+      let e =
+        if Random.State.bool st then [] else gen_stmts knobs st (depth - 1)
+      in
+      [ Ir.Ast.If (c, t, e) ]
+    | _ ->
+      let idx = Printf.sprintf "ix%d" depth in
+      let hi = range st 1 5 in
+      let body = gen_stmts knobs st (depth - 1) in
+      [
+        Ir.Ast.For
+          {
+            Ir.Ast.name = Printf.sprintf "GL%d" depth;
+            var = ident idx;
+            lo = Ir.Ast.Int 1;
+            hi = Ir.Ast.Int hi;
+            step = 1;
+            body;
+          };
+      ]
+  end
+
+and gen_stmts knobs st depth =
+  let n = range st 1 knobs.max_block in
+  List.concat (List.init n (fun _ -> gen_stmt knobs st depth))
+
+(* A whole program: initialize every variable, then run a counted outer
+   loop around a random body. *)
+let program ?(knobs = default_knobs) st =
+  let inits =
+    List.map (fun v -> Ir.Ast.Assign (ident v, Ir.Ast.Int (gen_const st))) var_names
+  in
+  let trips = range st 1 knobs.max_trip in
+  let body = gen_stmts knobs st knobs.depth in
+  {
+    Ir.Ast.decls = [];
+    stmts =
+      inits
+      @ [
+          Ir.Ast.For
+            {
+              Ir.Ast.name = "GOUTER";
+              var = ident "go";
+              lo = Ir.Ast.Int 1;
+              hi = Ir.Ast.Int trips;
+              step = 1;
+              body;
+            };
+        ];
+  }
+
+let source ?knobs st = Ir.Ast.to_string (program ?knobs st)
+
+(* [corpus ~seed ~count] — [count] named programs. Each program gets
+   its own state seeded [| seed; i |], so program [i] is stable under
+   changes to [count] (and generation could fan out if it ever becomes
+   the bottleneck). *)
+let corpus ?knobs ?(prefix = "gen") ~seed ~count () =
+  List.init count (fun i ->
+      let st = Random.State.make [| seed; i |] in
+      (Printf.sprintf "%s-%05d.iv" prefix i, source ?knobs st))

@@ -1,0 +1,35 @@
+(** Seeded random loop-program generation.
+
+    One engine behind `ivtool gen`, the B1 generated benchmark corpus,
+    and the property tests (test/gen.ml adapts it to QCheck2). Fully
+    deterministic: the same seed and knobs produce the same program on
+    every host, so CI can diff -j1 vs -j4 batch output byte-for-byte
+    over a generated corpus. *)
+
+(** Size/shape knobs. *)
+type knobs = {
+  depth : int;  (** max nesting depth of if/for templates *)
+  max_trip : int;  (** outer-loop trip-count bound *)
+  max_block : int;  (** statements per generated block *)
+}
+
+(** [{ depth = 2; max_trip = 8; max_block = 4 }] — the historical
+    property-test shape. *)
+val default_knobs : knobs
+
+(** One random program drawn from [st]. *)
+val program : ?knobs:knobs -> Random.State.t -> Ir.Ast.program
+
+(** {!program}, rendered to concrete syntax. *)
+val source : ?knobs:knobs -> Random.State.t -> string
+
+(** [corpus ~seed ~count ()] — [count] [(name, source)] programs named
+    ["<prefix>-%05d.iv"]. Program [i] depends only on [(seed, i)], so
+    it is stable under changes to [count]. *)
+val corpus :
+  ?knobs:knobs ->
+  ?prefix:string ->
+  seed:int ->
+  count:int ->
+  unit ->
+  (string * string) list

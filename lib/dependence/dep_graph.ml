@@ -120,8 +120,11 @@ let merge_outcomes common (outcomes : Deptest.outcome list) : Deptest.outcome =
       if List.exists (fun (_, ds) -> Deptest.dirset_is_empty ds) directions then
         raise Indep;
       let distance =
-        (* Union of known per-loop distances; conflicts are independence. *)
-        let table : (int, int) Hashtbl.t = Hashtbl.create 4 in
+        (* Union of known per-loop distances; conflicts are independence.
+           The accumulator is borrowed per-domain scratch — this runs
+           once per tested pair, which on a large corpus is the hottest
+           allocation site of the dependence pass. *)
+        Analysis.Scratch.with_distances @@ fun table ->
         let all_known = ref true in
         List.iter
           (fun (d : Deptest.dependence) ->

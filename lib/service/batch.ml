@@ -28,34 +28,29 @@ let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
   let passes_counter = Metrics.counter metrics "batch.passes" in
   let arr = Array.of_list items in
   (* With a resident pool the spawn already happened; [domains] is
-     advisory only (the pool's own size governs). *)
+     advisory only (the pool's own size governs). Without one, a
+     temporary pool spans every pass. Either way the pool reaches the
+     engine through [report], so each item's per-unit classification
+     walk forks onto the scheduler — units, not files, are the
+     stealable tasks, and a single large file no longer serializes a
+     domain (nor a single-item batch the whole pool). *)
+  let with_pool k =
+    match pool with
+    | Some p -> k (Some p)
+    | None ->
+      if domains <= 1 then k None
+      else begin
+        let p = Pool.create ~domains ~metrics () in
+        Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> k (Some p))
+      end
+  in
+  with_pool @@ fun pool ->
   let fan_out ~queue_depth f tasks =
     match pool with
     | Some p -> Pool.run ?timeout_s ~queue_depth ~metrics p f tasks
-    | None -> Pool.map ?timeout_s ~queue_depth ~metrics ~domains f tasks
+    | None -> Pool.map ?timeout_s ~queue_depth ~metrics ~domains:1 f tasks
   in
-  let pool_size = match pool with Some p -> Pool.size p | None -> domains in
-  (* A single item cannot use several workers at file granularity; hand
-     the workers to the engine instead, so the per-unit classification
-     walk fans out across them (units, not files, are the scheduled
-     tasks). Coordinator-only: timeouts stay with the fan-out path. *)
-  let one_item_pass item =
-    Obs.Trace.with_span ~cat:"batch"
-      ~attrs:[ ("file", Obs.Trace.Str item.name) ]
-      "batch.item"
-    @@ fun () ->
-    let use pl = report ?pool:pl engine ~artifacts item in
-    match pool with
-    | Some _ -> use pool
-    | None ->
-      if domains <= 1 then use None
-      else begin
-        let pl = Pool.create ~domains ~metrics () in
-        Fun.protect
-          ~finally:(fun () -> Pool.shutdown pl)
-          (fun () -> use (Some pl))
-      end
-  in
+  let pool_size = match pool with Some p -> Pool.size p | None -> 1 in
   let one_pass p =
     Metrics.incr passes_counter;
     Metrics.incr ~by:(Array.length arr) items_counter;
@@ -66,19 +61,13 @@ let run ?timeout_s ?(passes = 1) ?pool ~domains ~engine ~artifacts items =
           ("domains", Obs.Trace.Int pool_size) ]
       "batch.pass"
       (fun () ->
-        if Array.length arr = 1 && timeout_s = None then
-          [|
-            (try Pool.Done (one_item_pass arr.(0))
-             with e -> Pool.Failed (Printexc.to_string e));
-          |]
-        else
-          fan_out ~queue_depth:(Metrics.set_gauge depth)
-            (fun item ->
-              Obs.Trace.with_span ~cat:"batch"
-                ~attrs:[ ("file", Obs.Trace.Str item.name) ]
-                "batch.item"
-                (fun () -> report engine ~artifacts item))
-            arr)
+        fan_out ~queue_depth:(Metrics.set_gauge depth)
+          (fun item ->
+            Obs.Trace.with_span ~cat:"batch"
+              ~attrs:[ ("file", Obs.Trace.Str item.name) ]
+              "batch.item"
+              (fun () -> report ?pool engine ~artifacts item))
+          arr)
   in
   let total = max 1 passes in
   let rec go n last = if n <= 0 then last else go (n - 1) (one_pass (total - n + 1)) in

@@ -32,6 +32,8 @@ let kind_of_field f =
   if f = "seconds" then Gated Lower_better
   else if f = "files_per_sec" then Gated Higher_better
   else if starts_with ~prefix:"speedup" f then Gated Higher_better
+  else if f = "pairs_proven_independent" then Gated Higher_better
+  else if f = "checks_eliminated" then Gated Higher_better
   else if ends_with ~suffix:"_us" f then Info Lower_better
   else Count
 

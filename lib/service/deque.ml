@@ -1,0 +1,97 @@
+(* A Chase-Lev work-stealing deque [CL05]: the owner pushes and pops at
+   the bottom (LIFO, cache-warm), thieves steal one element at a time
+   from the top (FIFO, the oldest work). [top] only ever grows, so
+   there is no ABA on the claim CAS; the element array is published
+   through an [Atomic.t] so a thief that races a grow either sees the
+   old array (whose in-range cells are never overwritten — the owner
+   writes only the replacement) or the fully-copied new one.
+
+   Cells are themselves atomics. That is one indirection more than the
+   classic C layout, but it makes every cross-domain access a proper
+   synchronized read under the OCaml 5 memory model, and the scheduler's
+   units of work are whole file/unit analyses — microseconds to
+   milliseconds — so cell overhead is noise here. *)
+
+type 'a t = {
+  top : int Atomic.t; (* next index to steal; only grows *)
+  bottom : int Atomic.t; (* next index to push; owner-written *)
+  cells : 'a option Atomic.t array Atomic.t;
+}
+
+let create ?(capacity = 16) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let cap = pow2 16 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    cells = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let length t =
+  max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner-only: double the array, copying the live range [tp, b). The
+   old array keeps its values — a thief holding it still reads valid
+   cells for any index it can win the top CAS on. *)
+let grow t b tp =
+  let old = Atomic.get t.cells in
+  let n = Array.length old in
+  let fresh =
+    Array.init (2 * n)
+      (fun _ -> Atomic.make None)
+  in
+  for i = tp to b - 1 do
+    Atomic.set fresh.(i land ((2 * n) - 1)) (Atomic.get old.(i land (n - 1)))
+  done;
+  Atomic.set t.cells fresh;
+  fresh
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let cells = Atomic.get t.cells in
+  let cells =
+    if b - tp >= Array.length cells then grow t b tp else cells
+  in
+  Atomic.set cells.(b land (Array.length cells - 1)) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+(* Owner-only. The only race is over the last element, settled by a CAS
+   on [top] against any thief. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty: restore the canonical empty state. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let cells = Atomic.get t.cells in
+    let v = Atomic.get cells.(b land (Array.length cells - 1)) in
+    if b > tp then v
+    else begin
+      (* Last element: win it from the thieves or concede it. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then v else None
+    end
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+(* Any domain. A failed CAS means another thief (or the owner popping
+   the last element) claimed index [tp] first — retry against the new
+   top if desired. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b - tp <= 0 then Empty
+  else begin
+    let cells = Atomic.get t.cells in
+    match Atomic.get cells.(tp land (Array.length cells - 1)) with
+    | None -> Retry (* raced a grow publish; the next read settles *)
+    | Some v ->
+      if Atomic.compare_and_set t.top tp (tp + 1) then Stolen v else Retry
+  end

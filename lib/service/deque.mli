@@ -1,0 +1,35 @@
+(** A Chase-Lev work-stealing deque.
+
+    One {e owner} domain pushes and pops at the bottom; any number of
+    {e thief} domains steal from the top. Every element pushed is
+    claimed by exactly one of {!pop} or {!steal} (the property the
+    scheduler's determinism argument rests on — see docs/SERVICE.md).
+
+    The owner-side operations ({!push}, {!pop}) must only be called
+    from the owning domain; {!steal} and {!length} are safe anywhere. *)
+
+type 'a t
+
+(** [create ?capacity ()] — an empty deque. The cell array grows
+    (owner-side, thieves unaffected) when a push outruns [capacity]. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Number of unclaimed elements; a racy snapshot, useful only as a
+    victim-selection or queue-depth hint. *)
+val length : 'a t -> int
+
+(** Owner-only: add an element at the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner-only: remove the most recently pushed unclaimed element.
+    [None] when empty (or when a thief won the race for the last
+    element). *)
+val pop : 'a t -> 'a option
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** nothing unclaimed at the time of the read *)
+  | Retry  (** lost a race (another thief, the owner, or a grow) *)
+
+(** Thief: claim the oldest unclaimed element. *)
+val steal : 'a t -> 'a steal_result

@@ -212,24 +212,27 @@ let unit_lookup t d =
 let unit_store t d a = Cache.add t.cache (unit_key d) (E_unit a)
 
 (* A Classify miss runs through the unit layer: probe the shared unit
-   cache, analyze only the units that missed (fanned out over [pool]'s
-   domains when one is given), merge, and count one Unitclassify
-   hit/miss per nest unit — the per-unit incremental signal STATS and
-   traces expose. *)
+   cache, analyze only the units that missed, merge, and count one
+   Unitclassify hit/miss per nest unit — the per-unit incremental
+   signal STATS and traces expose. The missing units always go through
+   [Pool.fork_all]: inside a pool task they become stealable scheduler
+   nodes on the calling worker's deque, on a coordinator they borrow
+   [pool], and otherwise they run inline — so unit fan-out happens for
+   batch items and single-file serve requests alike. *)
 let classify_units ?pool t p : (Pipeline.unit_outcome list, string) result =
-  let pool_run =
-    Option.map
-      (fun pl thunks ->
-        Array.map
-          (fun o ->
-            match Pool.to_result o with
-            | Ok a -> a
-            | Error e -> failwith e)
-          (Pool.run pl (fun f -> f ()) thunks))
-      pool
+  let pool_run thunks =
+    Array.map
+      (function
+        | Pool.Done a -> a
+        | Pool.Timed_out _ ->
+          (* Surface the subtask's expired budget as the enclosing
+             task's own timeout, not an opaque failure. *)
+          raise Pool.Timeout
+        | Pool.Failed e -> failwith e)
+      (Pool.fork_all ?pool thunks)
   in
   match
-    Pipeline.classify_with_units ?pool_run ~lookup:(unit_lookup t)
+    Pipeline.classify_with_units ~pool_run ~lookup:(unit_lookup t)
       ~store:(unit_store t) p
   with
   | Error e -> Error e

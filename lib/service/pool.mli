@@ -28,14 +28,17 @@ val tick : unit -> unit
 
 (** [map ?timeout_s ?queue_depth ?metrics ~domains f tasks]. [domains]
     is clamped to [1 .. length tasks]; with [domains = 1] everything
-    runs on the calling domain (no spawn). [queue_depth], when given,
-    is called with the number of not-yet-started tasks each time a
-    worker dequeues — feed it a {!Metrics.gauge}. [metrics], when
-    given, receives per-domain scheduler telemetry: a
-    [pool.tasks{domain=N}] counter, [pool.task_latency{domain=N}] and
-    [pool.queue_wait{domain=N}] histograms, per-task GC deltas as
-    [pool.gc.*{domain=N}] counters, and [pool.spawn]/[pool.join] cost
-    histograms. *)
+    runs on the calling domain (no spawn, no scheduler atomics).
+    Otherwise workers run a work-stealing scheduler: per-worker
+    Chase-Lev deques, the submitter seeds the task nodes, idle workers
+    steal — see docs/SERVICE.md. [queue_depth], when given, is called
+    with the number of unclaimed scheduler nodes each time a worker
+    dequeues — feed it a {!Metrics.gauge}. [metrics], when given,
+    receives per-domain scheduler telemetry: [pool.tasks{domain=N}],
+    [pool.steals{domain=N}] and [pool.parks{domain=N}] counters,
+    [pool.task_latency{domain=N}] / [pool.queue_wait{domain=N}]
+    histograms, per-task GC deltas as [pool.gc.*{domain=N}] counters,
+    and [pool.spawn]/[pool.join] cost histograms. *)
 val map :
   ?timeout_s:float ->
   ?queue_depth:(int -> unit) ->
@@ -111,3 +114,29 @@ val run_list :
 (** Stop and join the worker domains. Idempotent; waits for an
     in-flight job to drain first. *)
 val shutdown : pool -> unit
+
+(** {2 In-task fork/join}
+
+    [fork_all thunks] evaluates every thunk and returns one outcome
+    per thunk, in order — the unit-graph scheduling entry point.
+
+    Called from {e inside} a pool task (a {!map} or {!run} worker),
+    the thunks are pushed onto the calling worker's own deque as
+    first-class scheduler nodes: idle workers steal them, the caller
+    helps with its own nodes, and the call returns when all have
+    finished. Subtasks inherit the forking task's deadline, and each
+    failure is isolated into its own outcome. The forker never
+    executes {e other} tasks while waiting, so forking while holding a
+    lock is safe.
+
+    Called from outside a pool task, the work is submitted to [pool]
+    as one job when it has more than one worker, and evaluated inline
+    (on the calling domain, preserving any ambient deadline)
+    otherwise. Never pass a [pool] whose job this call might already
+    be running inside — the in-task case is exactly what the worker
+    context detects and handles. *)
+val fork_all : ?pool:pool -> (unit -> 'a) array -> 'a outcome array
+
+(** True when the calling domain is currently executing a scheduler
+    node (so {!fork_all} will fan out onto its deque). *)
+val in_worker : unit -> bool

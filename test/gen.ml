@@ -1,176 +1,14 @@
-(* QCheck2 generators of random loop programs, used by the SSA/dominator
-   property tests and the classification soundness oracle.
+(* QCheck2 adapter over the library corpus generator (Corpus.Gen): the
+   property tests draw a random seed and expand it deterministically.
+   Shrinking degrades to "try smaller seeds" — acceptable for the
+   soundness oracles, which report the full offending program via
+   [print_program] anyway, and it keeps exactly one generator
+   implementation between tests, `ivtool gen` and the benchmarks. *)
 
-   The statement mix is biased toward the paper's recurrence shapes
-   (increments, copies/rotations, flip-flops, conditional updates,
-   multiplies) so that the classifier actually fires; all loops are
-   counted so the interpreter terminates without fuel pressure. *)
-
-open QCheck2.Gen
-
-let var_names = [ "va"; "vb"; "vc"; "vd" ]
-
-let ident name = Ir.Ident.of_string name
-let var name = Ir.Ast.Var (ident name)
-
-let gen_var = oneofl var_names
-
-let gen_const = int_range (-4) 6
-
-(* Simple right-hand sides over the current variables. *)
-let gen_expr =
-  oneof
-    [
-      map (fun c -> Ir.Ast.Int c) gen_const;
-      map var gen_var;
-      map2 (fun v c -> Ir.Ast.Binop (Ir.Ops.Add, var v, Ir.Ast.Int c)) gen_var gen_const;
-      map2 (fun a b -> Ir.Ast.Binop (Ir.Ops.Add, var a, var b)) gen_var gen_var;
-      map2 (fun v c -> Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int c)) gen_var (int_range (-3) 3);
-      map2 (fun a b -> Ir.Ast.Binop (Ir.Ops.Sub, var a, var b)) gen_var gen_var;
-      map (fun v -> Ir.Ast.Neg (var v)) gen_var;
-    ]
-
-let gen_cond =
-  oneof
-    [
-      return Ir.Ast.Unknown;
-      map3
-        (fun op a c -> Ir.Ast.Cmp (op, var a, Ir.Ast.Int c))
-        (oneofl [ Ir.Ops.Lt; Ir.Ops.Le; Ir.Ops.Gt; Ir.Ops.Ge; Ir.Ops.Eq; Ir.Ops.Ne ])
-        gen_var gen_const;
-    ]
-
-(* Statement templates biased toward classifiable recurrences. *)
-let rec gen_stmt ~loop_vars depth =
-  let leaf =
-    oneof
-      [
-        (* v += c (linear) *)
-        map2
-          (fun v c ->
-            Ir.Ast.Assign
-              (ident v, Ir.Ast.Binop (Ir.Ops.Add, var v, Ir.Ast.Int (if c = 0 then 1 else c))))
-          gen_var gen_const;
-        (* v += w (polynomial chains) *)
-        map2
-          (fun v w -> Ir.Ast.Assign (ident v, Ir.Ast.Binop (Ir.Ops.Add, var v, var w)))
-          gen_var gen_var;
-        (* copy: v = w (rotations / wrap-arounds) *)
-        map2 (fun v w -> Ir.Ast.Assign (ident v, var w)) gen_var gen_var;
-        (* flip-flop: v = c - v *)
-        map2
-          (fun v c -> Ir.Ast.Assign (ident v, Ir.Ast.Binop (Ir.Ops.Sub, Ir.Ast.Int c, var v)))
-          gen_var gen_const;
-        (* geometric: v = v*k + c *)
-        map3
-          (fun v k c ->
-            Ir.Ast.Assign
-              ( ident v,
-                Ir.Ast.Binop
-                  (Ir.Ops.Add, Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int k), Ir.Ast.Int c) ))
-          gen_var (int_range 2 3) gen_const;
-        (* general assignment *)
-        map2 (fun v e -> Ir.Ast.Assign (ident v, e)) gen_var gen_expr;
-        (* array store, subscripted by a variable *)
-        map2 (fun v e -> Ir.Ast.Astore (ident "arr", [ var v ], e)) gen_var gen_expr;
-        (* array store with an affine subscript (exercises the
-           dependence-graph oracle) *)
-        (let* v = gen_var in
-         let* k = int_range 1 3 in
-         let* c = int_range (-2) 4 in
-         let* e = gen_expr in
-         return
-           (Ir.Ast.Astore
-              ( ident "arr",
-                [
-                  Ir.Ast.Binop
-                    ( Ir.Ops.Add,
-                      Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int k),
-                      Ir.Ast.Int c );
-                ],
-                e )));
-        (* array read through an affine subscript *)
-        (let* w = gen_var in
-         let* v = gen_var in
-         let* k = int_range 1 3 in
-         let* c = int_range (-2) 4 in
-         return
-           (Ir.Ast.Assign
-              ( ident w,
-                Ir.Ast.Aref
-                  ( ident "arr",
-                    [
-                      Ir.Ast.Binop
-                        ( Ir.Ops.Add,
-                          Ir.Ast.Binop (Ir.Ops.Mul, var v, Ir.Ast.Int k),
-                          Ir.Ast.Int c );
-                    ] ) )));
-      ]
-  in
-  if depth = 0 then map (fun s -> [ s ]) leaf
-  else
-    frequency
-      [
-        (4, map (fun s -> [ s ]) leaf);
-        ( 2,
-          (* conditional update *)
-          map3
-            (fun c t e -> [ Ir.Ast.If (c, t, e) ])
-            gen_cond
-            (gen_stmts ~loop_vars (depth - 1))
-            (oneof [ return []; gen_stmts ~loop_vars (depth - 1) ]) );
-        ( 2,
-          (* nested counted loop with a fresh index *)
-          let idx = Printf.sprintf "ix%d" depth in
-          map2
-            (fun hi body ->
-              [
-                Ir.Ast.For
-                  {
-                    Ir.Ast.name = Printf.sprintf "GL%d" depth;
-                    var = ident idx;
-                    lo = Ir.Ast.Int 1;
-                    hi = Ir.Ast.Int hi;
-                    step = 1;
-                    body;
-                  };
-              ])
-            (int_range 1 5)
-            (gen_stmts ~loop_vars:(idx :: loop_vars) (depth - 1)) );
-      ]
-
-and gen_stmts ~loop_vars depth =
-  map List.concat (list_size (int_range 1 4) (gen_stmt ~loop_vars depth))
-
-(* A whole program: initialize every variable, then run a counted outer
-   loop around a random body. *)
 let gen_program =
-  let inits =
-    map
-      (fun consts ->
-        List.map2 (fun v c -> Ir.Ast.Assign (ident v, Ir.Ast.Int c)) var_names consts)
-      (list_size (return (List.length var_names)) gen_const)
-  in
-  map3
-    (fun inits trips body ->
-      {
-        Ir.Ast.decls = [];
-        stmts =
-          inits
-          @ [
-              Ir.Ast.For
-                {
-                  Ir.Ast.name = "GOUTER";
-                  var = ident "go";
-                  lo = Ir.Ast.Int 1;
-                  hi = Ir.Ast.Int trips;
-                  step = 1;
-                  body;
-                };
-            ];
-      })
-    inits (int_range 1 8)
-    (gen_stmts ~loop_vars:[ "go" ] 2)
+  QCheck2.Gen.map
+    (fun seed -> Corpus.Gen.program (Random.State.make [| seed |]))
+    (QCheck2.Gen.int_bound 1_000_000)
 
 (* Print for counterexample reporting. *)
 let print_program p = Ir.Ast.to_string p

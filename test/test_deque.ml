@@ -1,0 +1,99 @@
+(* The Chase-Lev deque under the scheduler: LIFO on the owner side,
+   FIFO on the thief side, and — the property the batch determinism
+   argument rests on — every pushed element claimed by exactly one of
+   pop/steal even when owner and thieves race. *)
+
+module Deque = Service.Deque
+
+let test_owner_lifo () =
+  let dq = Deque.create () in
+  for i = 0 to 9 do
+    Deque.push dq i
+  done;
+  Alcotest.(check int) "length" 10 (Deque.length dq);
+  for i = 9 downto 0 do
+    Alcotest.(check (option int)) "pop newest first" (Some i) (Deque.pop dq)
+  done;
+  Alcotest.(check (option int)) "then empty" None (Deque.pop dq)
+
+let test_thief_fifo () =
+  let dq = Deque.create ~capacity:4 () in
+  (* Push past the initial capacity so a grow happens under the steals. *)
+  for i = 0 to 19 do
+    Deque.push dq i
+  done;
+  let rec steal_all acc =
+    match Deque.steal dq with
+    | Deque.Stolen x -> steal_all (x :: acc)
+    | Deque.Retry -> steal_all acc
+    | Deque.Empty -> List.rev acc
+  in
+  Alcotest.(check (list int)) "steal oldest first"
+    (List.init 20 Fun.id) (steal_all []);
+  Alcotest.(check (option int)) "owner sees empty" None (Deque.pop dq)
+
+(* Steal-vs-pop race: an owner domain pushes [n] elements in batches,
+   popping between batches, while two thief domains steal continuously.
+   Afterwards every element must have been claimed exactly once. *)
+let claims_exactly_once (n, batch) =
+  let dq = Deque.create ~capacity:2 () in
+  let stop = Atomic.make false in
+  let thief () =
+    let acc = ref [] in
+    let rec drain () =
+      match Deque.steal dq with
+      | Deque.Stolen x ->
+        acc := x :: !acc;
+        drain ()
+      | Deque.Retry -> drain ()
+      | Deque.Empty -> if not (Atomic.get stop) then (Domain.cpu_relax (); drain ())
+    in
+    drain ();
+    !acc
+  in
+  let t1 = Domain.spawn thief in
+  let t2 = Domain.spawn thief in
+  let popped = ref [] in
+  let pop_all () =
+    let rec go () =
+      match Deque.pop dq with
+      | Some x ->
+        popped := x :: !popped;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let i = ref 0 in
+  while !i < n do
+    let b = min batch (n - !i) in
+    for _ = 1 to b do
+      Deque.push dq !i;
+      incr i
+    done;
+    (match Deque.pop dq with Some x -> popped := x :: !popped | None -> ())
+  done;
+  pop_all ();
+  (* All elements are claimed (or in a thief's hands) by now; release
+     the thieves, who drain whatever the owner's pops lost races on. *)
+  Atomic.set stop true;
+  let s1 = Domain.join t1 in
+  let s2 = Domain.join t2 in
+  let claimed = Array.make n 0 in
+  List.iter
+    (fun x -> claimed.(x) <- claimed.(x) + 1)
+    (List.concat [ !popped; s1; s2 ]);
+  Array.for_all (fun c -> c = 1) claimed
+
+let steal_race =
+  Helpers.qtest ~count:30 "steal vs pop claims exactly once"
+    QCheck2.Gen.(pair (int_range 1 300) (int_range 1 8))
+    claims_exactly_once
+
+let suite =
+  ( "service-deque",
+    [
+      Helpers.case "owner pops LIFO" test_owner_lifo;
+      Helpers.case "thieves steal FIFO across a grow" test_thief_fifo;
+      steal_race;
+    ] )
